@@ -1,0 +1,147 @@
+// Shared harness for the per-figure/table benchmark binaries.
+//
+// Every binary reproduces one table or figure of the paper: same series,
+// same parameter sweeps, scaled sizes (the simulator runs ~10-20x slower
+// than native CUDA, so defaults use |V| = 2^22 instead of 2^30; pass
+// --logn=N to change, --full for denser sweeps). Times printed are
+// *simulated V100S milliseconds* from the roofline cost model — shapes are
+// comparable to the paper, absolute values are a model (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/dr_topk.hpp"
+#include "data/datasets.hpp"
+#include "data/distributions.hpp"
+#include "topk/topk.hpp"
+
+namespace drtopk::bench {
+
+struct Args {
+  u64 logn = 22;       ///< log2 |V| (paper: 30)
+  bool logn_set = false;  ///< true when --logn was given explicitly
+  u64 seed = 42;
+  bool full = false;   ///< denser sweeps (paper granularity)
+  int kmin = 0;
+  int kmax = -1;       ///< default: logn - 6
+  int kstep = 4;       ///< log-step between k values (1 when --full)
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* prefix) -> const char* {
+        const size_t len = std::strlen(prefix);
+        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+      };
+      if (const char* v = val("--logn=")) {
+        a.logn = std::strtoull(v, nullptr, 10);
+        a.logn_set = true;
+      }
+      else if (const char* v2 = val("--seed=")) a.seed = std::strtoull(v2, nullptr, 10);
+      else if (arg == "--full") a.full = true;
+      else if (const char* v3 = val("--kmin=")) a.kmin = std::atoi(v3);
+      else if (const char* v4 = val("--kmax=")) a.kmax = std::atoi(v4);
+      else if (const char* v5 = val("--kstep=")) a.kstep = std::atoi(v5);
+      else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: [--logn=N] [--seed=S] [--full] [--kmin=A]"
+                    " [--kmax=B] [--kstep=C]\n");
+        std::exit(0);
+      }
+    }
+    if (a.full) a.kstep = 1;
+    return a;
+  }
+
+  /// Applies a bench-specific default size (ignored if --logn was given),
+  /// then finalizes the k sweep bounds.
+  void default_logn(u64 logn_default) {
+    if (!logn_set) logn = logn_default;
+    if (kmax < 0) kmax = static_cast<int>(logn) - 6;
+  }
+
+  u64 n() const { return u64{1} << logn; }
+
+  /// k = 2^kmin, 2^(kmin+kstep), ..., 2^kmax (capped at n/4 so delegation
+  /// stays feasible, as in the paper's sweeps).
+  std::vector<u64> k_sweep() const {
+    std::vector<u64> ks;
+    for (int e = kmin; e <= kmax; e += kstep) {
+      const u64 k = u64{1} << e;
+      if (k * 4 <= n()) ks.push_back(k);
+    }
+    return ks;
+  }
+};
+
+inline void print_title(const char* id, const char* what, const Args& a) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("|V| = 2^%llu, seed = %llu, times = simulated V100S ms\n",
+              static_cast<unsigned long long>(a.logn),
+              static_cast<unsigned long long>(a.seed));
+  std::printf("==============================================================\n");
+}
+
+/// Stage-breakdown table shared by the Figure 6/7/10/15 binaries.
+inline void print_breakdown(vgpu::Device& dev, std::span<const u32> v,
+                            const core::DrTopkConfig& base,
+                            const std::vector<u64>& ks) {
+  std::printf("%-10s %5s %10s %10s %10s %10s %10s %12s %12s\n", "k", "alpha",
+              "construct", "first", "concat", "second", "total", "|D|",
+              "|concat|");
+  for (u64 k : ks) {
+    core::StageBreakdown bd;
+    auto r = core::dr_topk_keys<u32>(dev, v, k, base, &bd);
+    (void)r;
+    std::printf("2^%-8d %5d %10.3f %10.3f %10.3f %10.3f %10.3f %12llu %12llu\n",
+                static_cast<int>(std::bit_width(k)) - 1, bd.alpha,
+                bd.construct_ms, bd.first_ms, bd.concat_ms, bd.second_ms,
+                bd.total_ms(),
+                static_cast<unsigned long long>(bd.delegate_len),
+                static_cast<unsigned long long>(bd.concat_len));
+  }
+}
+
+/// Simulated time of a baseline engine (input copied internally where the
+/// engine is destructive).
+inline double baseline_ms(vgpu::Device& dev, std::span<const u32> v, u64 k,
+                          topk::Algo algo) {
+  return topk::run_topk_keys<u32>(dev, v, k, algo).sim_ms;
+}
+
+/// Dr. Top-k assisted variant of a baseline: the first/second top-k run the
+/// baseline's algorithm family, as in Figures 17-19.
+inline core::DrTopkConfig assisted_config(topk::Algo family) {
+  core::DrTopkConfig cfg;
+  switch (family) {
+    case topk::Algo::kRadixGgksOop:
+    case topk::Algo::kRadixGgksInplace:
+    case topk::Algo::kRadixFlag:
+      // "they prefer in-place designs" (Section 5.1): the optimized
+      // flag-based in-place radix is Dr. Top-k's default.
+      cfg.first_algo = topk::Algo::kRadixFlag;
+      cfg.second_algo = topk::Algo::kRadixFlag;
+      break;
+    case topk::Algo::kBucketInplace:
+    case topk::Algo::kBucketOop:
+    case topk::Algo::kBucketGgksInplace:
+      cfg.first_algo = topk::Algo::kBucketInplace;
+      cfg.second_algo = topk::Algo::kBucketInplace;
+      break;
+    case topk::Algo::kBitonic:
+      cfg.first_algo = topk::Algo::kRadixFlag;  // first top-k needs (key,sid)
+      cfg.second_algo = topk::Algo::kBitonic;
+      break;
+    case topk::Algo::kSortAndChoose:
+      cfg.second_algo = topk::Algo::kSortAndChoose;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace drtopk::bench

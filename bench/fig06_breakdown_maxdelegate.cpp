@@ -1,0 +1,26 @@
+// Figure 6: time-consumption breakdown of the *initial* Dr. Top-k (maximum
+// delegate only — Rule 1, no filtering, no beta delegates) assisting radix
+// top-k, as k grows. The second top-k balloons for large k because whole
+// qualified subranges are concatenated.
+#include "common.hpp"
+
+using namespace drtopk;
+
+int main(int argc, char** argv) {
+  auto args = bench::Args::parse(argc, argv);
+  args.default_logn(24);
+  bench::print_title("Figure 6",
+                     "Dr. Top-k breakdown — maximum delegate only", args);
+  vgpu::Device dev;
+  auto v = data::generate(args.n(), data::Distribution::kUniform, args.seed);
+  std::span<const u32> vs(v.data(), v.size());
+
+  core::DrTopkConfig cfg;
+  cfg.beta = 1;           // maximum delegate (Section 4.1)
+  cfg.filtering = false;  // no delegate-top-k-enabled filtering yet
+  cfg.construct.optimized = false;  // plain warp-centric construction
+  bench::print_breakdown(dev, vs, cfg, args.k_sweep());
+  std::printf("\nPaper (|V|=2^30): construction flat ~4.2ms (84%% of peak);"
+              " all stages grow once k > 2^15.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 17: time vs |V| at k=1024 for every algorithm — sort-and-choose,
+// the three baselines, their three Dr. Top-k assisted versions, plus the
+// CPU priority-queue reference. Dr. Top-k's advantage grows with |V|.
+#include "common.hpp"
+
+using namespace drtopk;
+
+int main(int argc, char** argv) {
+  auto args = bench::Args::parse(argc, argv);
+  args.default_logn(23);
+  bench::print_title("Figure 17", "time vs |V| (k = 1024)", args);
+  vgpu::Device dev;
+  const u64 k = 1024;
+
+  std::printf("%-8s %10s %10s %10s %10s %10s %10s %10s %12s\n", "|V|",
+              "sort", "radix", "bucket", "bitonic", "dr+radix", "dr+bucket",
+              "dr+bitonic", "cpu-heap(ms)");
+  for (u64 logn = args.logn - 4; logn <= args.logn; ++logn) {
+    const u64 n = u64{1} << logn;
+    auto v = data::generate(n, data::Distribution::kUniform, args.seed);
+    std::span<const u32> vs(v.data(), v.size());
+
+    const double t_sort =
+        bench::baseline_ms(dev, vs, k, topk::Algo::kSortAndChoose);
+    const double t_radix =
+        bench::baseline_ms(dev, vs, k, topk::Algo::kRadixGgksOop);
+    const double t_bucket =
+        bench::baseline_ms(dev, vs, k, topk::Algo::kBucketOop);
+    const double t_bitonic =
+        bench::baseline_ms(dev, vs, k, topk::Algo::kBitonic);
+
+    double dr[3];
+    const topk::Algo fams[3] = {topk::Algo::kRadixGgksOop,
+                                topk::Algo::kBucketOop, topk::Algo::kBitonic};
+    for (int i = 0; i < 3; ++i) {
+      auto cfg = bench::assisted_config(fams[i]);
+      core::StageBreakdown bd;
+      (void)core::dr_topk_keys<u32>(dev, vs, k, cfg, &bd);
+      dr[i] = bd.total_ms();
+    }
+    auto heap = topk::heap_topk<u32>(vs, k, &dev.pool());
+
+    std::printf("2^%-6d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f"
+                " %12.1f\n",
+                static_cast<int>(logn), t_sort, t_radix, t_bucket, t_bitonic,
+                dr[0], dr[1], dr[2], heap.wall_ms);
+  }
+  std::printf("\nPaper (|V|=2^30): radix 41.3, bucket 38.4, bitonic 127.0,"
+              " sort 243.2 ms;\nDr. Top-k assisted: 6.4 / 7.0 / 7.0 ms —"
+              " advantage grows with |V|.\n");
+  return 0;
+}

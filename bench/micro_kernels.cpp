@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks of the substrate hot paths: delegate
+// construction (both kernels), flag-radix histogram passes, compaction and
+// the full pipeline. These measure *host wall time* of the simulator, which
+// is what bounds how large the figure benches can be run.
+#include <benchmark/benchmark.h>
+
+#include "core/dr_topk.hpp"
+#include "data/distributions.hpp"
+
+namespace drtopk {
+namespace {
+
+vgpu::Device& dev() {
+  static vgpu::Device d(vgpu::GpuProfile::v100s());
+  return d;
+}
+
+const vgpu::device_vector<u32>& input(u64 n) {
+  static vgpu::device_vector<u32> v;
+  if (v.size() != n)
+    v = data::generate(n, data::Distribution::kUniform, 42);
+  return v;
+}
+
+void BM_DelegateConstructWarp(benchmark::State& state) {
+  const u64 n = 1 << 22;
+  const auto& v = input(n);
+  std::span<const u32> vs(v.data(), v.size());
+  core::ConstructOpts opts;
+  opts.optimized = false;
+  for (auto _ : state) {
+    topk::Accum acc(dev());
+    auto dv = core::build_delegate_vector<u32>(
+        acc, vs, static_cast<int>(state.range(0)), 2, opts);
+    benchmark::DoNotOptimize(dv.keys.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_DelegateConstructWarp)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DelegateConstructShared(benchmark::State& state) {
+  const u64 n = 1 << 22;
+  const auto& v = input(n);
+  std::span<const u32> vs(v.data(), v.size());
+  for (auto _ : state) {
+    topk::Accum acc(dev());
+    auto dv = core::build_delegate_vector<u32>(
+        acc, vs, static_cast<int>(state.range(0)), 2);
+    benchmark::DoNotOptimize(dv.keys.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_DelegateConstructShared)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_FlagRadixKth(benchmark::State& state) {
+  const u64 n = 1 << 22;
+  const auto& v = input(n);
+  std::span<const u32> vs(v.data(), v.size());
+  for (auto _ : state) {
+    topk::Accum acc(dev());
+    benchmark::DoNotOptimize(
+        topk::radix_kth_flag<u32>(acc, vs, static_cast<u64>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_FlagRadixKth)->Arg(128)->Arg(1 << 12);
+
+void BM_DrTopkPipeline(benchmark::State& state) {
+  const u64 n = 1 << 22;
+  const auto& v = input(n);
+  std::span<const u32> vs(v.data(), v.size());
+  for (auto _ : state) {
+    auto r = core::dr_topk_keys<u32>(dev(), vs,
+                                     static_cast<u64>(state.range(0)));
+    benchmark::DoNotOptimize(r.kth);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_DrTopkPipeline)->Arg(128)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_HeapTopkCpu(benchmark::State& state) {
+  const u64 n = 1 << 22;
+  const auto& v = input(n);
+  std::span<const u32> vs(v.data(), v.size());
+  for (auto _ : state) {
+    auto r = topk::heap_topk<u32>(vs, static_cast<u64>(state.range(0)),
+                                  &dev().pool());
+    benchmark::DoNotOptimize(r.kth);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_HeapTopkCpu)->Arg(128);
+
+}  // namespace
+}  // namespace drtopk
+
+BENCHMARK_MAIN();

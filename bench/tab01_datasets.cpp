@@ -1,0 +1,54 @@
+// Table 1: the real-world dataset inventory, with the synthetic
+// equivalents' distribution statistics at the benchmark scale.
+#include <algorithm>
+#include <cmath>
+
+#include "common.hpp"
+
+using namespace drtopk;
+
+namespace {
+
+template <class T>
+void stats_row(const char* abbr, const vgpu::device_vector<T>& v,
+               data::Criterion crit) {
+  f64 mean = 0;
+  T mn = v[0], mx = v[0];
+  for (const T x : v) {
+    mean += static_cast<f64>(x);
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  mean /= static_cast<f64>(v.size());
+  std::printf("  %-4s n=%-12zu min=%-14.4g max=%-14.4g mean=%-12.4g"
+              " criterion=%s\n",
+              abbr, v.size(), static_cast<f64>(mn), static_cast<f64>(mx),
+              mean, crit == data::Criterion::kSmallest ? "smallest" : "largest");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::Args::parse(argc, argv);
+  args.default_logn(22);
+  bench::print_title("Table 1", "real-world datasets (synthetic equivalents)",
+                     args);
+
+  std::printf("%-6s %-28s %-14s %s\n", "Abbr.", "Dataset", "|V| (paper)",
+              "Application domain");
+  for (const auto& d : data::dataset_table()) {
+    std::printf("%-6s %-28s %-14llu %s\n", d.abbr.c_str(), d.name.c_str(),
+                static_cast<unsigned long long>(d.paper_size),
+                d.domain.c_str());
+  }
+
+  std::printf("\nGenerated at |V| = 2^%llu:\n",
+              static_cast<unsigned long long>(args.logn));
+  stats_row("AN", data::ann_distances(args.n(), 128, args.seed),
+            data::Criterion::kSmallest);
+  stats_row("CW", data::clueweb_degrees(args.n(), args.seed),
+            data::Criterion::kLargest);
+  stats_row("TR", data::twitter_covid_scores(args.n(), args.seed),
+            data::Criterion::kSmallest);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 2: scalability of distributed Dr. Top-k (k = 128) across GPU counts
+// and |V|, with communication, reload overhead and total time. Per-GPU
+// memory capacity is scaled with --logn exactly as 2^30 relates to the
+// paper's sizes: capacity = 2^logn, |V| up to 8x that, so the single-GPU
+// configurations reload shards over PCIe just like the paper's 2^31..2^33
+// columns.
+#include "common.hpp"
+#include "dist/multi_gpu.hpp"
+
+using namespace drtopk;
+
+int main(int argc, char** argv) {
+  auto args = bench::Args::parse(argc, argv);
+  args.default_logn(22);
+  bench::print_title("Table 2", "multi-GPU scalability (k = 128)", args);
+  const u64 cap = args.n();
+  const u64 k = 128;
+
+  std::printf("%-14s", "#GPU(#nodes)");
+  for (u64 s = 0; s <= 3; ++s)
+    std::printf(" | %-32s", ("|V|=2^" + std::to_string(args.logn + s)).c_str());
+  std::printf("\n%-14s", "");
+  for (int s = 0; s <= 3; ++s) std::printf(" | %8s %8s %8s %6s", "comm", "reload", "total", "spdup");
+  std::printf("\n");
+
+  const u32 gpu_counts[] = {1, 2, 4, 8, 16};
+  const u32 nodes[] = {1, 1, 1, 2, 4};
+  double base_total[4] = {0, 0, 0, 0};
+
+  for (size_t gi = 0; gi < 5; ++gi) {
+    std::printf("%-3u(%u)%8s", gpu_counts[gi], nodes[gi], "");
+    for (u64 s = 0; s <= 3; ++s) {
+      const u64 n = cap << s;
+      auto v = data::generate(n, data::Distribution::kUniform, args.seed);
+      std::span<const u32> vs(v.data(), v.size());
+      dist::MultiGpuConfig cfg;
+      cfg.num_gpus = gpu_counts[gi];
+      cfg.device_capacity_elems = cap;
+      auto r = dist::multi_gpu_topk(vs, k, cfg);
+      if (gi == 0) base_total[s] = r.total_ms;
+      std::printf(" | %8.2f %8.2f %8.2f %5.1fx", r.comm_ms, r.reload_ms,
+                  r.total_ms, base_total[s] / r.total_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper (cap=2^30): 16 GPUs reach 3.4x on 2^30 and"
+              " superlinear 185.9x / 470.5x / 734.2x on 2^31..2^33, because"
+              " extra GPUs eliminate the PCIe reloads that dominate the"
+              " single-GPU columns.\n");
+  return 0;
+}

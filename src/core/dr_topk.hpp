@@ -1,0 +1,359 @@
+// Dr. Top-k: the delegate-centric top-k pipeline (Sections 3-5).
+//
+//   input vector --(1) delegate vector construction--> delegate vector
+//                --(2) first top-k  --> threshold kappa + taken delegates
+//                --(3) concatenation (Rule 2 filtering, Rule 3 skipping)
+//                --(4) second top-k --> final top-k
+//
+// Correctness rests on three rules, all unit-tested against brute force:
+//  * Rule 1: a subrange whose maximum delegate is not among the top-k of
+//    the delegate vector contributes nothing to the final top-k.
+//  * Rule 2: kappa = min(top-k(D)) lower-bounds the final k-th element, so
+//    elements < kappa can be filtered out during concatenation.
+//  * Rule 3 (beta delegates): if not all beta delegates of a subrange are
+//    taken, none of its *non-delegate* elements can reach the final top-k —
+//    the subrange is skipped entirely and only its taken delegates remain
+//    candidates.
+//
+// The taken set is "every delegate >= kappa" — a superset of the exact
+// top-k(D) that preserves all three rules and allows the first top-k to
+// stop its radix refinement one digit early (Section 4.3's skipped last
+// iteration), trading a slightly larger candidate set for a cheaper first
+// top-k.
+#pragma once
+
+#include <functional>
+
+#include "core/alpha_tuner.hpp"
+#include "core/delegate.hpp"
+#include "topk/topk.hpp"
+
+namespace drtopk::core {
+
+struct DrTopkConfig {
+  u32 beta = 2;       ///< delegates per subrange (1 = maximum delegate only)
+  int alpha = -1;     ///< log2(subrange size); -1 = auto (Rule 4)
+  double tuner_const = 3.0;  ///< Rule 4 Const (paper-tuned value)
+  bool filtering = true;     ///< Rule 2 delegate-top-k-enabled filtering
+  bool skip_last_first_iter = true;  ///< Section 4.3 first top-k relaxation
+  ConstructOpts construct;
+  topk::Algo first_algo = topk::Algo::kRadixFlag;
+  topk::Algo second_algo = topk::Algo::kRadixFlag;
+
+  /// k-selection mode: only the k-th element is needed (the paper's
+  /// distinction in Section 1). The final stage runs a pure k-selection on
+  /// the candidates and skips the collection pass; result.keys holds just
+  /// the k-th key.
+  bool selection_only = false;
+
+  /// Optional hook invoked with the locally derived threshold kappa right
+  /// after the first top-k; its return value replaces kappa. Distributed
+  /// Dr. Top-k uses this to exchange the k-th delegate across GPUs
+  /// (Section 5.4's optional filter-sharpening step). The returned value
+  /// must still lower-bound the global k-th element; it is carried as u64
+  /// regardless of key width.
+  std::function<u64(u64)> kappa_hook;
+};
+
+/// Per-stage accounting: the quantities plotted in Figures 6/7/10/13/15
+/// (stage times) and Figures 20/21 (workload = vector sizes).
+struct StageBreakdown {
+  double construct_ms = 0, first_ms = 0, concat_ms = 0, second_ms = 0;
+  vgpu::KernelStats construct_stats, first_stats, concat_stats, second_stats;
+  u64 delegate_len = 0;  ///< |D| — the first top-k's workload
+  u64 concat_len = 0;    ///< candidate count — the second top-k's workload
+  u64 num_subranges = 0;
+  u64 qualified_subranges = 0;  ///< subranges concatenated (Rule 3 survivors)
+  u64 taken_delegates = 0;      ///< delegates >= kappa
+  int alpha = 0;
+  u32 beta = 1;
+  bool second_skipped = false;  ///< Rule 3 fast path (Figure 8b)
+  bool fallback_direct = false; ///< k too large for delegation; ran directly
+
+  double total_ms() const {
+    return construct_ms + first_ms + concat_ms + second_ms;
+  }
+  vgpu::KernelStats total_stats() const {
+    return construct_stats + first_stats + concat_stats + second_stats;
+  }
+};
+
+/// Launch geometry for one-warp-per-subrange classification kernels.
+inline vgpu::Launch acc_launch_subranges(vgpu::Device& dev, u64 subranges) {
+  return dev.launch_for_warp_items(std::max<u64>(1, subranges / 32),
+                                   "classify");
+}
+
+/// Dr. Top-k over directed keys. Returns the exact top-k multiset (sorted
+/// descending), total stats/simulated time, and optionally the breakdown.
+template <class K>
+topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
+                                 u64 k, const DrTopkConfig& cfg = {},
+                                 StageBreakdown* bd_out = nullptr) {
+  using topk::Accum;
+  topk::WallTimer wall;
+  const u64 n = v.size();
+  assert(k >= 1 && k <= n);
+  StageBreakdown bd;
+  bd.beta = std::clamp<u32>(cfg.beta, 1, kMaxBeta);
+
+  int alpha = cfg.alpha >= 0
+                  ? cfg.alpha
+                  : AlphaTuner{cfg.tuner_const}.rule4_alpha(n, k);
+  alpha = clamp_alpha(n, k, bd.beta, alpha);
+  bd.alpha = alpha;
+
+  topk::TopkResult<K> result;
+  if (alpha < 0) {
+    // Delegation infeasible (k within a factor of |V|): direct top-k.
+    bd.fallback_direct = true;
+    result = topk::run_topk_keys(dev, v, k, cfg.second_algo);
+    bd.second_ms = result.sim_ms;
+    bd.second_stats = result.stats;
+    bd.concat_len = n;
+    if (bd_out) *bd_out = bd;
+    result.wall_ms = wall.ms();
+    return result;
+  }
+
+  const u64 len = u64{1} << alpha;
+  const u32 beta = bd.beta;
+
+  // ---- Stage 1: delegate vector construction ----
+  Accum a1(dev);
+  DelegateVector<K> dv = build_delegate_vector(a1, v, alpha, beta,
+                                               cfg.construct);
+  bd.construct_ms = a1.sim_ms();
+  bd.construct_stats = a1.stats();
+  bd.num_subranges = dv.num_subranges;
+  bd.delegate_len = dv.size();
+  std::span<const K> dkeys(dv.keys.data(), dv.keys.size());
+  std::span<const u32> dsids(dv.sids.data(), dv.sids.size());
+
+  // ---- Stage 2: first top-k -> threshold kappa ----
+  // The Section 4.3 relaxation (skip the last radix digit) is incompatible
+  // with a kappa_hook: the hook is a collective exchange that every rank
+  // performs exactly once, and the relaxation guard below may recompute.
+  const bool relax =
+      cfg.skip_last_first_iter && beta > 1 && !cfg.kappa_hook &&
+      cfg.first_algo == topk::Algo::kRadixFlag;
+  K kappa;
+  if (cfg.first_algo == topk::Algo::kRadixFlag) {
+    Accum a2(dev);
+    kappa = relax ? topk::radix_kth_flag_relaxed(a2, dkeys, k, 1)
+                  : topk::radix_kth_flag(a2, dkeys, k);
+    bd.first_ms = a2.sim_ms();
+    bd.first_stats = a2.stats();
+  } else {
+    auto fr = topk::run_topk_keys(dev, dkeys, k, cfg.first_algo);
+    kappa = fr.kth;
+    bd.first_ms = fr.sim_ms;
+    bd.first_stats = fr.stats;
+  }
+  if (cfg.kappa_hook)
+    kappa = static_cast<K>(cfg.kappa_hook(static_cast<u64>(kappa)));
+
+  // ---- Stage 3: subrange classification + concatenation ----
+  Accum a3(dev);
+  const u64 S = dv.num_subranges;
+
+  // Phase A: per-subrange taken counts -> qualified list + partial total.
+  vgpu::device_vector<u32> qualified(S);
+  std::span<u32> qspan(qualified.data(), qualified.size());
+  std::array<u64, 3> counters{};  // [0]=qualified, [1]=partial taken, [2]=taken
+  std::span<u64> cspan(counters.data(), counters.size());
+  const auto classify = [&] {
+    counters = {};
+    auto cfg_l = acc_launch_subranges(dev, S);
+    a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
+      cta.for_each_warp([&](vgpu::Warp& w) {
+        for (u64 s = w.global_id(); s < S; s += w.grid_warps()) {
+          const u64 real = std::min<u64>(beta, dv.subrange_len(s, n));
+          auto ks = w.load_coalesced(dkeys, s * beta, beta);
+          auto ss = w.load_coalesced(dsids, s * beta, beta);
+          u32 taken = 0;
+          for (u32 j = 0; j < beta; ++j)
+            if (ss[j] != kInvalidSid && ks[j] >= kappa) ++taken;
+          if (taken == 0) continue;
+          w.atomic_add(cspan, 2, static_cast<u64>(taken));
+          if (taken == real) {
+            const u64 pos = w.atomic_add(cspan, 0, u64{1});
+            w.st(qspan, pos, static_cast<u32>(s));
+          } else {
+            w.atomic_add(cspan, 1, static_cast<u64>(taken));
+          }
+        }
+      });
+    });
+  };
+  classify();
+  // Relaxation guard: skipping the last digit is only profitable when that
+  // digit barely discriminates. On tie-heavy data (e.g. ND, whose whole
+  // value range fits inside one low digit) the relaxed threshold admits
+  // nearly every delegate; detect the blow-up and pay for the exact
+  // threshold instead.
+  if (relax && counters[2] > 4 * k) {
+    Accum a2b(dev);
+    kappa = topk::radix_kth_flag(a2b, dkeys, k);
+    bd.first_ms += a2b.sim_ms();
+    bd.first_stats += a2b.stats();
+    classify();
+  }
+  const u64 q_count = counters[0];
+  const u64 partial_total = counters[1];
+  bd.taken_delegates = counters[2];
+  bd.qualified_subranges = q_count;
+
+  // Candidate capacity: every partial taken delegate + the full length of
+  // every qualified subrange (exact; the last subrange may be short).
+  u64 qual_len = q_count * len;
+  for (u64 i = 0; i < q_count; ++i) {
+    if (qualified[i] == S - 1) {
+      qual_len -= len - dv.subrange_len(S - 1, n);
+      break;
+    }
+  }
+  vgpu::device_vector<K> cand(partial_total + qual_len);
+  std::span<K> cand_span(cand.data(), cand.size());
+  u64 cand_count = 0;
+  std::span<u64> ccount(&cand_count, 1);
+
+  // Phase B1: partial subranges contribute their taken delegates.
+  if (partial_total > 0) {
+    auto cfg_l = acc_launch_subranges(dev, S);
+    a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
+      cta.for_each_warp([&](vgpu::Warp& w) {
+        for (u64 s = w.global_id(); s < S; s += w.grid_warps()) {
+          const u64 real = std::min<u64>(beta, dv.subrange_len(s, n));
+          auto ks = w.load_coalesced(dkeys, s * beta, beta);
+          auto ss = w.load_coalesced(dsids, s * beta, beta);
+          u32 taken = 0;
+          for (u32 j = 0; j < beta; ++j)
+            if (ss[j] != kInvalidSid && ks[j] >= kappa) ++taken;
+          if (taken == 0 || taken == real) continue;
+          const u64 base = w.atomic_add(ccount, 0, static_cast<u64>(taken));
+          u32 out = 0;
+          for (u32 j = 0; j < beta; ++j) {
+            if (ss[j] != kInvalidSid && ks[j] >= kappa)
+              w.st(cand_span, base + out++, ks[j]);
+          }
+        }
+      });
+    });
+  }
+
+  // Phase B2: warp-centric concatenation of qualified subranges, with
+  // Rule 2 filtering (elements >= kappa) unless disabled.
+  if (q_count > 0) {
+    std::span<const u32> cq(qualified.data(), q_count);
+    auto cfg_l = dev.launch_for_warp_items(q_count, "concat");
+    const bool filter = cfg.filtering;
+    a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
+      cta.for_each_warp([&](vgpu::Warp& w) {
+        for (u64 i = w.global_id(); i < q_count; i += w.grid_warps()) {
+          const u32 sid = w.ld(cq, i);
+          const u64 begin = static_cast<u64>(sid) * len;
+          const u64 slen = dv.subrange_len(sid, n);
+          u64 pos = begin;
+          const u64 end = begin + slen;
+          while (pos < end) {
+            const u32 active =
+                static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
+            auto vals = w.load_coalesced(v, pos, active);
+            vgpu::LaneArray<u8> keep{};
+            for (u32 l = 0; l < active; ++l)
+              keep[l] = (!filter || vals[l] >= kappa) ? 1 : 0;
+            const u32 mask = w.ballot(keep, active);
+            const u32 c = std::popcount(mask);
+            if (c) {
+              const u64 base = w.atomic_add(ccount, 0, static_cast<u64>(c));
+              vgpu::LaneArray<K> packed{};
+              u32 j = 0;
+              for (u32 l = 0; l < active; ++l)
+                if (keep[l]) packed[j++] = vals[l];
+              w.store_coalesced(cand_span, base, packed, c);
+            }
+            pos += active;
+          }
+        }
+      });
+    });
+  }
+  bd.concat_ms = a3.sim_ms();
+  bd.concat_stats = a3.stats();
+  bd.concat_len = cand_count;
+
+  // ---- Stage 4: second top-k (skipped entirely when Rule 3 leaves the
+  // taken delegates as the exact answer — Figure 8b) ----
+  bd.second_skipped = (q_count == 0 && bd.taken_delegates == k);
+  if (bd.second_skipped) {
+    result.keys.assign(cand.begin(), cand.begin() + static_cast<i64>(k));
+    std::sort(result.keys.begin(), result.keys.end(), std::greater<>());
+    if (cfg.selection_only) result.keys = {result.keys.back()};
+  } else if (cfg.selection_only) {
+    // Pure k-selection on the candidates: no collection pass at all.
+    std::span<const K> cview(cand.data(), cand_count);
+    topk::Accum a4(dev);
+    const K kth = topk::radix_kth_flag(a4, cview, k);
+    bd.second_ms = a4.sim_ms();
+    bd.second_stats = a4.stats();
+    result.keys = {kth};
+  } else {
+    std::span<const K> cview(cand.data(), cand_count);
+    auto sr = topk::run_topk_keys(dev, cview, k, cfg.second_algo);
+    bd.second_ms = sr.sim_ms;
+    bd.second_stats = sr.stats;
+    result.keys = std::move(sr.keys);
+  }
+  result.kth = result.keys.back();
+  result.stats = bd.total_stats();
+  result.sim_ms = bd.total_ms();
+  result.wall_ms = wall.ms();
+  if (bd_out) *bd_out = bd;
+  return result;
+}
+
+/// K-selection: the value of the k-th largest key only (Section 1's
+/// "k-selection algorithm"). Cheaper than the full top-k: the candidate
+/// stage needs no collection pass.
+template <class K>
+K dr_kth_keys(vgpu::Device& dev, std::span<const K> v, u64 k,
+              DrTopkConfig cfg = {}, StageBreakdown* bd_out = nullptr) {
+  cfg.selection_only = true;
+  return dr_topk_keys<K>(dev, v, k, cfg, bd_out).kth;
+}
+
+/// Typed frontend mirroring topk::run_topk.
+template <class T>
+topk::TypedTopkResult<T> dr_topk(vgpu::Device& dev, std::span<const T> values,
+                                 u64 k, data::Criterion criterion,
+                                 const DrTopkConfig& cfg = {},
+                                 StageBreakdown* bd_out = nullptr) {
+  using Key = typename data::KeyTraits<T>::Key;
+  topk::WallTimer wall;
+  topk::TopkResult<Key> kr;
+  if constexpr (std::is_same_v<T, u32> || std::is_same_v<T, u64>) {
+    if (criterion == data::Criterion::kLargest)
+      kr = dr_topk_keys<Key>(dev, values, k, cfg, bd_out);
+  }
+  if (kr.keys.empty()) {
+    topk::Accum acc(dev);
+    auto keys = topk::make_directed_keys(acc, values, criterion);
+    kr = dr_topk_keys<Key>(dev,
+                           std::span<const Key>(keys.data(), keys.size()), k,
+                           cfg, bd_out);
+    kr.stats += acc.stats();
+    kr.sim_ms += acc.sim_ms();
+  }
+  topk::TypedTopkResult<T> r;
+  r.values.reserve(kr.keys.size());
+  for (const Key key : kr.keys)
+    r.values.push_back(data::value_from_directed_key<T>(key, criterion));
+  r.kth = r.values.back();
+  r.stats = kr.stats;
+  r.sim_ms = kr.sim_ms;
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+}  // namespace drtopk::core

@@ -1,0 +1,87 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/rng.hpp"
+#include "vgpu/thread_pool.hpp"
+
+namespace drtopk::data {
+
+namespace {
+
+vgpu::ThreadPool& gen_pool() {
+  static vgpu::ThreadPool pool;
+  return pool;
+}
+
+template <class T, class F>
+vgpu::device_vector<T> parallel_generate(u64 n, F&& fn) {
+  vgpu::device_vector<T> out(n);
+  const u64 block = 1ull << 14;
+  const u64 blocks = (n + block - 1) / block;
+  gen_pool().parallel_for(0, blocks, [&](u64 b, u32) {
+    const u64 lo = b * block;
+    const u64 hi = std::min(n, lo + block);
+    for (u64 i = lo; i < hi; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<DatasetInfo> dataset_table() {
+  return {
+      {"AN", "ANN_SIFT1B (synthetic)", 536'870'912ull,
+       "k-Nearest Neighbor", Criterion::kSmallest},
+      {"CW", "ClueWeb09 (synthetic)", 1'073'741'824ull,
+       "Sparse Networks", Criterion::kLargest},
+      {"TR", "TwitterCOVID-19 (synthetic)", 1'073'741'824ull,
+       "Social Networks", Criterion::kSmallest},
+  };
+}
+
+vgpu::device_vector<f32> ann_distances(u64 n, u32 dim, u64 seed) {
+  // Query point: random but fixed by the seed (the paper uses the dataset's
+  // first vector as the query).
+  std::vector<f32> query(dim);
+  for (u32 d = 0; d < dim; ++d)
+    query[d] = static_cast<f32>(rand_unit(seed ^ 0xABCDEF, d));
+
+  return parallel_generate<f32>(n, [&, seed, dim](u64 i) {
+    f64 acc = 0.0;
+    for (u32 d = 0; d < dim; ++d) {
+      const f64 x = rand_unit(seed, i * dim + d);
+      const f64 diff = x - query[d];
+      acc += diff * diff;
+    }
+    return static_cast<f32>(std::sqrt(acc));
+  });
+}
+
+vgpu::device_vector<u32> clueweb_degrees(u64 n, u64 seed, f64 alpha,
+                                         u32 max_degree) {
+  // Inverse-CDF Pareto sampling: deg = floor(u^(-1/(alpha-1))), clipped.
+  const f64 exponent = -1.0 / (alpha - 1.0);
+  return parallel_generate<u32>(n, [=](u64 i) {
+    const f64 u = std::max(rand_unit(seed, i), 0x1.0p-60);
+    const f64 deg = std::pow(u, exponent);
+    return static_cast<u32>(
+        std::clamp(deg, 1.0, static_cast<f64>(max_degree)));
+  });
+}
+
+vgpu::device_vector<f32> twitter_covid_scores(u64 n, u64 seed,
+                                              f64 unique_fraction) {
+  const u64 uniques = std::max<u64>(
+      1, static_cast<u64>(static_cast<f64>(n) * unique_fraction));
+  // Fear scores skew low (most tweets mildly fearful): score = u^2 gives a
+  // density concentrated near 0 with a thin tail toward 1.
+  return parallel_generate<f32>(n, [=](u64 i) {
+    const u64 base = i % uniques;  // tiling duplicates the unique pool
+    const f64 u = rand_unit(seed, base);
+    return static_cast<f32>(u * u);
+  });
+}
+
+}  // namespace drtopk::data

@@ -1,0 +1,56 @@
+// Synthetic equivalents of the paper's three real-world datasets (Table 1).
+//
+// The originals (ANN_SIFT1B, ClueWeb09, TwitterCOVID-19) are multi-GB
+// downloads; what top-k actually consumes from each is a value vector with a
+// characteristic distribution. These generators reproduce those
+// distributions deterministically and at any scale:
+//
+//  * AN — k-nearest-neighbor: Euclidean distances from a query vector to n
+//         random 128-dimensional points (the paper computes distances from
+//         the first SIFT vector to the other 1B). Criterion: smallest.
+//  * CW — web-graph degree centrality: a Zipf/power-law degree sequence
+//         like ClueWeb09's. Criterion: largest.
+//  * TR — COVID-fear tweet scores: a small pool of unique scores tiled to
+//         full size (the paper duplicates 132M tweets onto a 1B vector,
+//         preserving the distribution). Criterion: smallest (k least
+//         fearful tweets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/key_traits.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/types.hpp"
+
+namespace drtopk::data {
+
+struct DatasetInfo {
+  std::string abbr;
+  std::string name;
+  u64 paper_size;  ///< |V| used in the paper (Table 1)
+  std::string domain;
+  Criterion criterion;
+};
+
+/// Table 1 of the paper.
+std::vector<DatasetInfo> dataset_table();
+
+/// AN: L2 distances from the query point to n random points in [0,1)^dim.
+/// The distances concentrate around sqrt(dim/6) with a smooth unimodal
+/// spread — the same regime as real SIFT descriptor distances.
+vgpu::device_vector<f32> ann_distances(u64 n, u32 dim = 128, u64 seed = 1);
+
+/// CW: power-law degrees deg ~ Pareto(alpha) clipped to [1, max_degree],
+/// matching a web crawl's degree distribution (ClueWeb09: 4.78B pages,
+/// 7.94B links → mean degree ~1.7, heavy tail).
+vgpu::device_vector<u32> clueweb_degrees(u64 n, u64 seed = 2,
+                                         f64 alpha = 2.1,
+                                         u32 max_degree = 10'000'000);
+
+/// TR: fear scores in [0,1]; `unique_fraction` of n distinct scores tiled
+/// over the whole vector (paper: 132M unique over 1B total ≈ 0.123).
+vgpu::device_vector<f32> twitter_covid_scores(u64 n, u64 seed = 3,
+                                              f64 unique_fraction = 0.123);
+
+}  // namespace drtopk::data

@@ -1,0 +1,104 @@
+// Order-preserving key transforms.
+//
+// Every top-k engine in this library operates internally on unsigned integer
+// keys ordered "largest wins" — exactly what radix/bucket machinery wants.
+// KeyTraits maps user value types (unsigned ints, signed ints, floats) to
+// such keys bijectively and back; Criterion selects largest-k vs smallest-k
+// by complementing the key, so e.g. the k-nearest-neighbor example (smallest
+// distances, Table 1 of the paper) reuses the same engines unchanged.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "vgpu/types.hpp"
+
+namespace drtopk::data {
+
+enum class Criterion {
+  kLargest,   ///< top-k largest (the paper's default)
+  kSmallest,  ///< top-k smallest (k-NN distances, least-fearful tweets)
+};
+
+template <class T>
+struct KeyTraits;
+
+template <>
+struct KeyTraits<u32> {
+  using Key = u32;
+  static Key to_key(u32 v) { return v; }
+  static u32 from_key(Key k) { return k; }
+};
+
+template <>
+struct KeyTraits<u64> {
+  using Key = u64;
+  static Key to_key(u64 v) { return v; }
+  static u64 from_key(Key k) { return k; }
+};
+
+template <>
+struct KeyTraits<i32> {
+  using Key = u32;
+  static Key to_key(i32 v) {
+    return static_cast<u32>(v) ^ 0x8000'0000u;  // flip sign bit
+  }
+  static i32 from_key(Key k) { return static_cast<i32>(k ^ 0x8000'0000u); }
+};
+
+template <>
+struct KeyTraits<i64> {
+  using Key = u64;
+  static Key to_key(i64 v) {
+    return static_cast<u64>(v) ^ 0x8000'0000'0000'0000ull;
+  }
+  static i64 from_key(Key k) {
+    return static_cast<i64>(k ^ 0x8000'0000'0000'0000ull);
+  }
+};
+
+template <>
+struct KeyTraits<f32> {
+  using Key = u32;
+  // The classic monotone float map: flip all bits of negatives, flip only
+  // the sign bit of non-negatives. Total order matches IEEE-754 ordering
+  // (with -0 < +0; NaNs sort above +inf and are the caller's problem).
+  static Key to_key(f32 v) {
+    u32 bits = std::bit_cast<u32>(v);
+    return (bits & 0x8000'0000u) ? ~bits : bits | 0x8000'0000u;
+  }
+  static f32 from_key(Key k) {
+    u32 bits = (k & 0x8000'0000u) ? k & 0x7FFF'FFFFu : ~k;
+    return std::bit_cast<f32>(bits);
+  }
+};
+
+template <>
+struct KeyTraits<f64> {
+  using Key = u64;
+  static Key to_key(f64 v) {
+    u64 bits = std::bit_cast<u64>(v);
+    return (bits & 0x8000'0000'0000'0000ull) ? ~bits
+                                             : bits | 0x8000'0000'0000'0000ull;
+  }
+  static f64 from_key(Key k) {
+    u64 bits = (k & 0x8000'0000'0000'0000ull) ? k & 0x7FFF'FFFF'FFFF'FFFFull
+                                              : ~k;
+    return std::bit_cast<f64>(bits);
+  }
+};
+
+/// Key for value v under criterion c: complementing the key reverses the
+/// order, so "smallest" becomes "largest" on complemented keys.
+template <class T>
+typename KeyTraits<T>::Key directed_key(T v, Criterion c) {
+  auto k = KeyTraits<T>::to_key(v);
+  return c == Criterion::kLargest ? k : ~k;
+}
+
+template <class T>
+T value_from_directed_key(typename KeyTraits<T>::Key k, Criterion c) {
+  return KeyTraits<T>::from_key(c == Criterion::kLargest ? k : ~k);
+}
+
+}  // namespace drtopk::data

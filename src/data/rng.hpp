@@ -1,0 +1,50 @@
+// Counter-based deterministic random number generation.
+//
+// Generation is a pure function of (seed, index): any element of any dataset
+// can be produced independently and in parallel, and every run of every
+// bench/test sees identical data. This replaces the paper's one-off dataset
+// files with reproducible generators.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "vgpu/types.hpp"
+
+namespace drtopk::data {
+
+/// SplitMix64 finalizer — a high-quality 64-bit mix.
+inline u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform u64 for stream position `index` of stream `seed`.
+inline u64 rand_u64(u64 seed, u64 index) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(index * 0xD6E8FEB86659FD93ull + 1));
+}
+
+inline u32 rand_u32(u64 seed, u64 index) {
+  return static_cast<u32>(rand_u64(seed, index) >> 32);
+}
+
+/// Uniform double in [0, 1).
+inline f64 rand_unit(u64 seed, u64 index) {
+  return static_cast<f64>(rand_u64(seed, index) >> 11) * 0x1.0p-53;
+}
+
+/// Standard normal via Box-Muller (one value per index; the second
+/// Box-Muller output is derived from a sub-stream so indices stay
+/// independent).
+inline f64 rand_normal(u64 seed, u64 index) {
+  // Avoid log(0) by nudging u1 away from zero.
+  const f64 u1 = std::max(rand_unit(seed ^ 0xA5A5A5A5A5A5A5A5ull, index),
+                          0x1.0p-60);
+  const f64 u2 = rand_unit(seed ^ 0x5A5A5A5A5A5A5A5Aull, index);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace drtopk::data

@@ -1,0 +1,116 @@
+#include "mpi/comm.hpp"
+
+#include <thread>
+
+namespace drtopk::mpi {
+
+class Context {
+ public:
+  Context(int size, CommCostModel cost) : size_(size), cost_(cost) {}
+
+  int size() const { return size_; }
+  const CommCostModel& cost() const { return cost_; }
+
+  void post(int src, int dst, int tag, std::vector<std::byte> bytes) {
+    std::lock_guard lk(mu_);
+    boxes_[key(src, dst, tag)].push_back(std::move(bytes));
+    cv_.notify_all();
+  }
+
+  std::vector<std::byte> take(int src, int dst, int tag) {
+    std::unique_lock lk(mu_);
+    auto& box = boxes_[key(src, dst, tag)];
+    cv_.wait(lk, [&] { return !box.empty(); });
+    std::vector<std::byte> out = std::move(box.front());
+    box.pop_front();
+    return out;
+  }
+
+  void barrier() {
+    std::unique_lock lk(mu_);
+    const u64 gen = barrier_gen_;
+    if (++barrier_waiting_ == size_) {
+      barrier_waiting_ = 0;
+      ++barrier_gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+    }
+  }
+
+ private:
+  static u64 key(int src, int dst, int tag) {
+    return (static_cast<u64>(static_cast<u32>(src)) << 40) |
+           (static_cast<u64>(static_cast<u32>(dst)) << 20) |
+           static_cast<u64>(static_cast<u32>(tag));
+  }
+
+  int size_;
+  CommCostModel cost_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<u64, std::deque<std::vector<std::byte>>> boxes_;
+  int barrier_waiting_ = 0;
+  u64 barrier_gen_ = 0;
+};
+
+int Comm::size() const { return ctx_->size(); }
+
+void Comm::post(int dst, int tag, std::vector<std::byte> bytes) {
+  stats_.msgs_sent += 1;
+  stats_.bytes_sent += bytes.size();
+  ctx_->post(rank_, dst, tag, std::move(bytes));
+}
+
+std::vector<std::byte> Comm::take(int src, int tag) {
+  std::vector<std::byte> bytes = ctx_->take(src, rank_, tag);
+  stats_.msgs_received += 1;
+  stats_.bytes_received += bytes.size();
+  stats_.modeled_ms += ctx_->cost().message_ms(bytes.size());
+  return bytes;
+}
+
+u64 Comm::allreduce_max(u64 value) {
+  std::span<const u64> mine(&value, 1);
+  auto all = gather<u64>(mine, 0, kReduceTag);
+  u64 best = value;
+  if (rank_ == 0) {
+    for (const auto& v : all)
+      for (u64 x : v) best = std::max(best, x);
+  }
+  auto result = bcast<u64>(std::span<const u64>(&best, 1), 0, kReduceTag + 1);
+  return result[0];
+}
+
+void Comm::barrier() { ctx_->barrier(); }
+
+std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn,
+                           CommCostModel cost) {
+  Context ctx(nranks, cost);
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) comms.emplace_back(ctx, r);
+
+  std::vector<std::thread> threads;
+  std::exception_ptr error;
+  std::mutex err_mu;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(comms[static_cast<size_t>(r)]);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+
+  std::vector<CommStats> stats;
+  stats.reserve(comms.size());
+  for (const auto& c : comms) stats.push_back(c.stats());
+  return stats;
+}
+
+}  // namespace drtopk::mpi

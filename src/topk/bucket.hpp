@@ -1,0 +1,273 @@
+// Bucket top-k / k-selection engines (GGKS-style, Section 2.2 / Figure 1).
+//
+// The value range [lo, hi] is split into 256 equal buckets; a histogram
+// locates the bucket holding the k-th element; the range narrows to that
+// bucket and the process repeats until the bucket collapses to one value.
+// Bucket boundaries are computed in 128-bit integer arithmetic so they are
+// exact for both 32- and 64-bit keys (no floating-point drift).
+//
+//  * bucket_kth_inplace / bucket_topk_inplace — every iteration re-scans the
+//    full input with a range predicate (the in-place design the paper says
+//    Dr. Top-k prefers for small k).
+//  * bucket_topk_oop — compacts the bucket of interest into a fresh buffer
+//    each iteration and emits the buckets above it (GGKS out-of-place).
+//
+// The CD dataset (data/distributions.hpp) is adversarial for exactly these
+// engines: the bucket of interest keeps the overwhelming majority of
+// elements at every level, so no iteration shrinks the workload.
+#pragma once
+
+#include "topk/kernels.hpp"
+
+namespace drtopk::topk {
+
+namespace detail {
+
+using u128 = unsigned __int128;
+
+/// Bucket index of x within [lo, hi] split into kRadixBuckets equal parts.
+template <class K>
+u32 bucket_of(K x, K lo, K hi) {
+  const u128 width = static_cast<u128>(hi) - lo + 1;
+  return static_cast<u32>((static_cast<u128>(x) - lo) * kRadixBuckets / width);
+}
+
+/// [lo', hi'] bounds of bucket b within [lo, hi].
+template <class K>
+std::pair<K, K> bucket_bounds(u32 b, K lo, K hi) {
+  const u128 width = static_cast<u128>(hi) - lo + 1;
+  const u128 lo_off = (static_cast<u128>(b) * width + kRadixBuckets - 1) /
+                      kRadixBuckets;
+  const u128 hi_off =
+      (static_cast<u128>(b + 1) * width + kRadixBuckets - 1) / kRadixBuckets;
+  return {static_cast<K>(lo + static_cast<K>(lo_off)),
+          static_cast<K>(lo + static_cast<K>(hi_off - 1))};
+}
+
+}  // namespace detail
+
+/// K-selection via in-place bucketing. Returns the k-th largest key.
+template <class K>
+K bucket_kth_inplace(Accum& acc, std::span<const K> v, u64 k) {
+  assert(k >= 1 && k <= v.size());
+  auto [lo, hi] = device_minmax(acc, v);
+  if (k == 1) return hi;  // bucket top-k answers k=1 from the max directly
+  u64 rem = k;
+  std::array<u64, kRadixBuckets> hist;
+
+  while (lo < hi) {
+    const K clo = lo, chi = hi;
+    histogram256(
+        acc, v, [clo, chi](K x) { return x >= clo && x <= chi; },
+        [clo, chi](K x) { return detail::bucket_of(x, clo, chi); }, hist,
+        "bucket_hist");
+    u64 cum = 0;
+    u32 chosen = 0;
+    for (int b = kRadixBuckets - 1; b >= 0; --b) {
+      if (cum + hist[b] >= rem) {
+        chosen = static_cast<u32>(b);
+        rem -= cum;
+        break;
+      }
+      cum += hist[b];
+    }
+    if (hist[chosen] == 1) {
+      const auto [blo, bhi] = detail::bucket_bounds(chosen, lo, hi);
+      return device_find_unique(
+          acc, v, [blo, bhi](K x) { return x >= blo && x <= bhi; });
+    }
+    std::tie(lo, hi) = detail::bucket_bounds(chosen, lo, hi);
+  }
+  return lo;
+}
+
+/// Full top-k with the in-place bucket engine.
+template <class K>
+TopkResult<K> bucket_topk_inplace(vgpu::Device& dev, std::span<const K> v,
+                                  u64 k) {
+  WallTimer wall;
+  Accum acc(dev);
+  TopkResult<K> r;
+  r.kth = bucket_kth_inplace(acc, v, k);
+  r.keys = collect_topk(acc, v, r.kth, k);
+  r.stats = acc.stats();
+  r.sim_ms = acc.sim_ms();
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+/// GGKS-style out-of-place bucket top-k.
+template <class K>
+TopkResult<K> bucket_topk_oop(vgpu::Device& dev, std::span<const K> v,
+                              u64 k) {
+  assert(k >= 1 && k <= v.size());
+  WallTimer wall;
+  Accum acc(dev);
+  TopkResult<K> r;
+  r.keys.resize(k);
+  std::span<K> out(r.keys.data(), k);
+
+  auto [lo, hi] = device_minmax(acc, v);
+  vgpu::device_vector<K> bufA(v.size()), bufB(v.size());
+  std::span<const K> cur = v;
+  std::span<K> next(bufA.data(), bufA.size());
+  std::span<K> other(bufB.data(), bufB.size());
+
+  u64 emitted = 0;
+  u64 rem = k;
+  std::array<u64, kRadixBuckets> hist;
+
+  while (lo < hi && rem > 0) {
+    const K clo = lo, chi = hi;
+    histogram256(
+        acc, cur, [](K) { return true; },
+        [clo, chi](K x) { return detail::bucket_of(x, clo, chi); }, hist,
+        "bucket_oop_hist");
+    u64 cum = 0;
+    u32 chosen = 0;
+    for (int b = kRadixBuckets - 1; b >= 0; --b) {
+      if (cum + hist[b] >= rem) {
+        chosen = static_cast<u32>(b);
+        break;
+      }
+      cum += hist[b];
+    }
+    const auto [blo, bhi] = detail::bucket_bounds(chosen, lo, hi);
+    emitted = device_compact(
+        acc, cur, [bhi](K x) { return x > bhi; }, out, emitted,
+        "bucket_oop_emit");
+    const u64 kept = device_compact(
+        acc, cur, [blo, bhi](K x) { return x >= blo && x <= bhi; }, next, 0,
+        "bucket_oop_keep");
+    rem -= cum;
+    cur = std::span<const K>(next.data(), kept);
+    std::swap(next, other);
+    lo = blo;
+    hi = bhi;
+    if (kept == rem) {
+      emitted = device_compact(
+          acc, cur, [](K) { return true; }, out, emitted, "bucket_oop_flush");
+      rem = 0;
+    }
+  }
+  if (rem > 0) {
+    // Range collapsed: survivors are copies of `lo`.
+    for (u64 i = 0; i < rem; ++i) r.keys[emitted + i] = lo;
+    emitted += rem;
+  }
+  assert(emitted == k);
+  std::sort(r.keys.begin(), r.keys.end(), std::greater<>());
+  r.kth = r.keys.back();
+  r.stats = acc.stats();
+  r.sim_ms = acc.sim_ms();
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+/// GGKS-style in-place bucket top-k. Like radix_topk_ggks_inplace, retired
+/// elements (outside the bucket of interest) are overwritten with the
+/// sentinel 0, paying one scattered read-modify-write store per retired
+/// element; elements above the bucket are emitted to the result first.
+/// Destructive; requires nonzero keys (documented GGKS limitation).
+template <class K>
+TopkResult<K> bucket_topk_ggks_inplace(vgpu::Device& dev, std::span<K> v,
+                                       u64 k) {
+  assert(k >= 1 && k <= v.size());
+  WallTimer wall;
+  Accum acc(dev);
+  TopkResult<K> r;
+  r.keys.resize(k);
+  std::span<K> out(r.keys.data(), k);
+  std::span<const K> cv(v.data(), v.size());
+
+  auto [lo, hi] = device_minmax(acc, cv);
+  u64 emitted = 0;
+  u64 rem = k;
+  std::array<u64, kRadixBuckets> hist;
+
+  while (lo < hi && rem > 0) {
+    const K clo = lo, chi = hi;
+    histogram256(
+        acc, cv, [clo, chi](K x) { return x != 0 && x >= clo && x <= chi; },
+        [clo, chi](K x) { return detail::bucket_of(x, clo, chi); }, hist,
+        "bucket_inp_hist");
+    u64 cum = 0;
+    u32 chosen = 0;
+    for (int b = kRadixBuckets - 1; b >= 0; --b) {
+      if (cum + hist[b] >= rem) {
+        chosen = static_cast<u32>(b);
+        break;
+      }
+      cum += hist[b];
+    }
+    const auto [blo, bhi] = detail::bucket_bounds(chosen, lo, hi);
+
+    // Zeroing pass: emit > bhi, zero everything outside [blo, bhi].
+    u64 counter = emitted;
+    std::span<u64> cnt(&counter, 1);
+    auto cfg = stream_launch(acc.device(), v.size(), "bucket_inp_zero");
+    acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+      cta.for_each_warp([&](vgpu::Warp& w) {
+        const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+        if (s.len == 0) return;
+        u64 pos = s.begin;
+        const u64 end = s.begin + s.len;
+        while (pos < end) {
+          const u32 active =
+              static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
+          auto vals = w.load_coalesced(cv, pos, active);
+          vgpu::LaneArray<u8> is_above{}, is_retired{};
+          for (u32 l = 0; l < active; ++l) {
+            if (vals[l] == 0) continue;
+            if (vals[l] > bhi) {
+              is_above[l] = 1;
+              is_retired[l] = 1;
+            } else if (vals[l] < blo) {
+              is_retired[l] = 1;
+            }
+          }
+          const u32 above_mask = w.ballot(is_above, active);
+          const u32 c = std::popcount(above_mask);
+          if (c) {
+            const u64 base = w.atomic_add(cnt, 0, static_cast<u64>(c));
+            vgpu::LaneArray<K> packed{};
+            u32 j = 0;
+            for (u32 l = 0; l < active; ++l)
+              if (is_above[l]) packed[j++] = vals[l];
+            w.store_coalesced(out, base, packed, c);
+          }
+          const u32 retire_mask = w.ballot(is_retired, active);
+          if (retire_mask) {
+            vgpu::LaneArray<u64> idx{};
+            vgpu::LaneArray<K> zeros{};
+            for (u32 l = 0; l < active; ++l) idx[l] = pos + l;
+            w.store_scattered(v, idx, zeros, retire_mask);
+          }
+          pos += active;
+        }
+      });
+    });
+    emitted = counter;
+    rem -= cum;
+    lo = blo;
+    hi = bhi;
+    if (hist[chosen] == rem) {
+      emitted = device_compact(
+          acc, cv, [](K x) { return x != 0; }, out, emitted,
+          "bucket_inp_flush");
+      rem = 0;
+      break;
+    }
+  }
+  for (u64 i = 0; i < rem; ++i) r.keys[emitted + i] = lo;
+  emitted += rem;
+  assert(emitted == k);
+  std::sort(r.keys.begin(), r.keys.end(), std::greater<>());
+  r.kth = r.keys.back();
+  r.stats = acc.stats();
+  r.sim_ms = acc.sim_ms();
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+}  // namespace drtopk::topk

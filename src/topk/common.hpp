@@ -1,0 +1,87 @@
+// Shared result/accounting types for all top-k engines.
+//
+// Engines operate on "directed keys": unsigned integers whose natural
+// ordering is largest-wins (see data/key_traits.hpp). The typed frontend in
+// topk/topk.hpp converts user values to keys and back.
+#pragma once
+
+#include <chrono>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/key_traits.hpp"
+#include "vgpu/device.hpp"
+
+namespace drtopk::topk {
+
+using data::Criterion;
+
+/// Result of a top-k engine on directed keys.
+template <class K>
+struct TopkResult {
+  std::vector<K> keys;  ///< exactly k keys, sorted descending
+  K kth{};              ///< == keys.back() (the k-selection answer)
+  vgpu::KernelStats stats;  ///< summed over every kernel of the call
+  double sim_ms = 0.0;      ///< modeled GPU time (cost model)
+  double wall_ms = 0.0;     ///< host wall-clock of the call
+};
+
+/// Accumulates per-kernel stats and simulated time across an engine call.
+class Accum {
+ public:
+  explicit Accum(vgpu::Device& dev) : dev_(&dev) {}
+
+  /// Record one finished kernel launch.
+  void add(const vgpu::KernelStats& s) {
+    stats_ += s;
+    sim_ms_ += dev_->sim_ms(s);
+  }
+
+  /// Launch-and-record convenience.
+  template <class F>
+  void launch(const vgpu::Launch& cfg, F&& fn) {
+    add(dev_->launch(cfg, std::forward<F>(fn)));
+  }
+
+  vgpu::Device& device() { return *dev_; }
+  const vgpu::KernelStats& stats() const { return stats_; }
+  double sim_ms() const { return sim_ms_; }
+
+ private:
+  vgpu::Device* dev_;
+  vgpu::KernelStats stats_;
+  double sim_ms_ = 0.0;
+};
+
+/// Scoped wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Host-side reference: the exact multiset of the k largest keys, sorted
+/// descending. Used by tests and to finalize small candidate sets.
+template <class K>
+std::vector<K> reference_topk(std::span<const K> v, u64 k) {
+  std::vector<K> copy(v.begin(), v.end());
+  if (k >= copy.size()) {
+    std::sort(copy.begin(), copy.end(), std::greater<>());
+    return copy;
+  }
+  std::nth_element(copy.begin(), copy.begin() + static_cast<i64>(k),
+                   copy.end(), std::greater<>());
+  copy.resize(k);
+  std::sort(copy.begin(), copy.end(), std::greater<>());
+  return copy;
+}
+
+}  // namespace drtopk::topk

@@ -1,0 +1,71 @@
+// Priority-queue (min-heap) top-k — the textbook CPU baseline from the
+// paper's introduction. Kept as the oracle the GPU engines are validated
+// against and as the host-side finalizer for small candidate sets (e.g. the
+// multi-GPU primary's final top-k).
+#pragma once
+
+#include <queue>
+
+#include "topk/common.hpp"
+#include "vgpu/thread_pool.hpp"
+
+namespace drtopk::topk {
+
+/// Sequential heap top-k: O(n log k), single pass.
+template <class K>
+std::vector<K> heap_topk_host(std::span<const K> v, u64 k) {
+  assert(k >= 1 && k <= v.size());
+  std::priority_queue<K, std::vector<K>, std::greater<K>> heap;
+  for (const K x : v) {
+    if (heap.size() < k) {
+      heap.push(x);
+    } else if (x > heap.top()) {
+      heap.pop();
+      heap.push(x);
+    }
+  }
+  std::vector<K> out(k);
+  for (u64 i = k; i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+/// Parallel heap top-k: per-thread local heaps over chunks, merged at the
+/// end — the "many local priority queues + global merge" design whose
+/// synchronization cost the paper cites as the reason GPUs avoid it.
+template <class K>
+std::vector<K> heap_topk_parallel(vgpu::ThreadPool& pool,
+                                  std::span<const K> v, u64 k) {
+  assert(k >= 1 && k <= v.size());
+  const u64 n = v.size();
+  const u32 parts = pool.size();
+  const u64 per = (n + parts - 1) / parts;
+  std::vector<std::vector<K>> local(parts);
+  pool.parallel_for(0, parts, [&](u64 p, u32) {
+    const u64 lo = p * per;
+    const u64 hi = std::min(n, lo + per);
+    if (lo >= hi) return;
+    const u64 kk = std::min<u64>(k, hi - lo);
+    local[p] = heap_topk_host(v.subspan(lo, hi - lo), kk);
+  });
+  std::vector<K> all;
+  for (auto& l : local) all.insert(all.end(), l.begin(), l.end());
+  return reference_topk(std::span<const K>(all.data(), all.size()), k);
+}
+
+/// Engine-shaped wrapper (wall-clock only; a CPU baseline has no device
+/// stats or simulated GPU time).
+template <class K>
+TopkResult<K> heap_topk(std::span<const K> v, u64 k,
+                        vgpu::ThreadPool* pool = nullptr) {
+  WallTimer wall;
+  TopkResult<K> r;
+  r.keys = pool ? heap_topk_parallel(*pool, v, k) : heap_topk_host(v, k);
+  r.kth = r.keys.back();
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+}  // namespace drtopk::topk

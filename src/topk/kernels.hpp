@@ -1,0 +1,232 @@
+// Reusable device kernels shared by the top-k engines: grid-slice scans,
+// 256-way histograms, min/max reduction, threshold collection and compaction.
+//
+// All kernels follow the same warp-centric shape as the paper's
+// implementation: each warp owns a contiguous slice of the vector, streams
+// it with coalesced 32-element chunks, reduces warp-locally (registers /
+// shared memory), and merges with a handful of global atomics.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <limits>
+
+#include "topk/common.hpp"
+#include "vgpu/vgpu.hpp"
+
+namespace drtopk::topk {
+
+inline constexpr u32 kRadixBuckets = 256;
+inline constexpr u32 kRadixBits = 8;
+
+/// Contiguous slice of [0,n) owned by warp `w` out of `total` warps,
+/// rounded to warp-sized chunks so accesses stay coalesced.
+struct Slice {
+  u64 begin = 0;
+  u64 len = 0;
+};
+
+inline Slice warp_slice(u64 n, u32 w, u32 total) {
+  const u64 chunk = vgpu::kWarpSize;
+  const u64 chunks = (n + chunk - 1) / chunk;
+  const u64 per_warp = (chunks + total - 1) / total;
+  const u64 b = std::min<u64>(n, static_cast<u64>(w) * per_warp * chunk);
+  const u64 e = std::min<u64>(n, b + per_warp * chunk);
+  return {b, e - b};
+}
+
+/// Grid geometry for a full-vector streaming kernel.
+inline vgpu::Launch stream_launch(vgpu::Device& dev, u64 n, std::string name,
+                                  u64 shared_bytes_per_cta = 0,
+                                  u32 warps_per_cta = 8) {
+  const u64 warps = std::max<u64>(1, n / (vgpu::kWarpSize * 16));
+  return dev.launch_for_warp_items(warps, std::move(name), warps_per_cta,
+                                   shared_bytes_per_cta);
+}
+
+/// 256-bin histogram of digit(x) over elements where alive(x). One shared-
+/// memory histogram per CTA (all warps of the CTA accumulate into it, as a
+/// real kernel would behind __syncthreads), merged into the global bins
+/// with at most 256 atomics per CTA.
+template <class K, class Alive, class Digit>
+void histogram256(Accum& acc, std::span<const K> v, Alive&& alive,
+                  Digit&& digit, std::array<u64, kRadixBuckets>& hist,
+                  const char* name = "hist256") {
+  for (auto& h : hist) h = 0;
+  std::span<u64> hspan(hist.data(), hist.size());
+  auto cfg = stream_launch(acc.device(), v.size(), name,
+                           kRadixBuckets * sizeof(u32));
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    auto sh = cta.shared().alloc<u32>(kRadixBuckets);
+    for (u32 i = 0; i < kRadixBuckets; ++i) sh.st(i, 0);
+    bool touched = false;
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      touched = true;
+      w.scan_coalesced(v, s.begin, s.len, [&](u32, K x) {
+        if (alive(x)) {
+          const u32 d = digit(x);
+          sh.st(d, sh.ld(d) + 1);
+        }
+      });
+    });
+    if (!touched) return;
+    for (u32 i = 0; i < kRadixBuckets; ++i) {
+      const u32 c = sh.ld(i);
+      if (c) cta.atomic_add(hspan, i, static_cast<u64>(c));
+    }
+  });
+}
+
+/// Min and max of the vector (bucket top-k's first step).
+template <class K>
+std::pair<K, K> device_minmax(Accum& acc, std::span<const K> v) {
+  std::array<K, 2> cells = {std::numeric_limits<K>::max(),
+                            std::numeric_limits<K>::min()};
+  std::span<K> cspan(cells.data(), cells.size());
+  auto cfg = stream_launch(acc.device(), v.size(), "minmax");
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      auto lmin = vgpu::lane_fill(std::numeric_limits<K>::max());
+      auto lmax = vgpu::lane_fill(std::numeric_limits<K>::min());
+      w.scan_coalesced(v, s.begin, s.len, [&](u32 lane, K x) {
+        lmin[lane] = std::min(lmin[lane], x);
+        lmax[lane] = std::max(lmax[lane], x);
+      });
+      const K wmin = w.reduce_min(lmin);
+      const K wmax = w.reduce_max(lmax);
+      // atomic min: emulate with max on complemented key
+      w.atomic_max(cspan, 1, wmax);
+      std::span<K> min_cell(cells.data(), 1);
+      // fetch_min via CAS loop, charged as one atomic
+      w.stats().atomic_ops += 1;
+      std::atomic_ref<K> a(cells[0]);
+      K cur = a.load(std::memory_order_relaxed);
+      while (wmin < cur &&
+             !a.compare_exchange_weak(cur, wmin, std::memory_order_relaxed)) {
+      }
+    });
+  });
+  return {cells[0], cells[1]};
+}
+
+/// Count of elements matching pred, via per-warp reduce + one atomic.
+template <class K, class Pred>
+u64 device_count(Accum& acc, std::span<const K> v, Pred&& pred,
+                 const char* name = "count") {
+  u64 counter = 0;
+  std::span<u64> cnt(&counter, 1);
+  auto cfg = stream_launch(acc.device(), v.size(), name);
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      auto lc = vgpu::lane_fill<u32>(0);
+      w.scan_coalesced(v, s.begin, s.len, [&](u32 lane, K x) {
+        if (pred(x)) ++lc[lane];
+      });
+      const u32 c = w.reduce_add(lc);
+      if (c) w.atomic_add(cnt, 0, static_cast<u64>(c));
+    });
+  });
+  return counter;
+}
+
+/// Compacts elements matching pred into `out` starting at *out_pos
+/// (warp-aggregated atomic reservation, coalesced compacted stores).
+/// Returns the new element count. `out` must be large enough.
+template <class K, class Pred>
+u64 device_compact(Accum& acc, std::span<const K> v, Pred&& pred,
+                   std::span<K> out, u64 initial_count = 0,
+                   const char* name = "compact") {
+  u64 counter = initial_count;
+  std::span<u64> cnt(&counter, 1);
+  auto cfg = stream_launch(acc.device(), v.size(), name);
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      u64 pos = s.begin;
+      const u64 end = s.begin + s.len;
+      while (pos < end) {
+        const u32 active =
+            static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
+        auto vals = w.load_coalesced(v, pos, active);
+        vgpu::LaneArray<u8> keep{};
+        for (u32 l = 0; l < active; ++l) keep[l] = pred(vals[l]) ? 1 : 0;
+        const u32 mask = w.ballot(keep, active);
+        const u32 c = std::popcount(mask);
+        if (c) {
+          // Lane 0 reserves c slots; compacted lanes write consecutively —
+          // the same warp-aggregated pattern the paper's concatenation uses.
+          const u64 base = w.atomic_add(cnt, 0, static_cast<u64>(c));
+          vgpu::LaneArray<K> packed{};
+          u32 j = 0;
+          for (u32 l = 0; l < active; ++l)
+            if (keep[l]) packed[j++] = vals[l];
+          w.store_coalesced(out, base, packed, c);
+        }
+        pos += active;
+      }
+    });
+  });
+  return counter;
+}
+
+/// Finds the unique element satisfying pred (used by the radix/bucket
+/// early-exit when the surviving bucket holds exactly one element).
+template <class K, class Pred>
+K device_find_unique(Accum& acc, std::span<const K> v, Pred&& pred) {
+  K found{};
+  std::span<K> cell(&found, 1);
+  auto cfg = stream_launch(acc.device(), v.size(), "find_unique");
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      w.scan_coalesced(v, s.begin, s.len, [&](u32, K x) {
+        if (pred(x)) w.st(cell, 0, x);
+      });
+    });
+  });
+  return found;
+}
+
+/// Standard top-k collection once the k-th value `kth` is known: gathers all
+/// elements > kth, then pads with copies of kth up to exactly k. The number
+/// of elements > kth is strictly less than k by definition of the k-th
+/// largest. Output is sorted descending (host finalization of k elements).
+template <class K>
+std::vector<K> collect_topk(Accum& acc, std::span<const K> v, K kth, u64 k) {
+  std::vector<K> out(k);
+  std::span<K> ospan(out.data(), out.size());
+  const u64 greater = device_compact(
+      acc, v, [kth](K x) { return x > kth; }, ospan, 0, "collect_gt");
+  assert(greater < k);
+  // Fill kernel: the remaining k-greater slots are copies of kth (their
+  // value is known; no reads needed).
+  const u64 fill = k - greater;
+  auto cfg = acc.device().launch_for_warp_items(
+      std::max<u64>(1, fill / vgpu::kWarpSize), "fill_kth");
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(fill, w.global_id(), w.grid_warps());
+      u64 pos = s.begin;
+      const u64 end = s.begin + s.len;
+      auto vals = vgpu::lane_fill(kth);
+      while (pos < end) {
+        const u32 active =
+            static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
+        w.store_coalesced(ospan, greater + pos, vals, active);
+        pos += active;
+      }
+    });
+  });
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+}  // namespace drtopk::topk

@@ -1,0 +1,158 @@
+// Public typed frontend over the top-k engines.
+//
+//   vgpu::Device dev;
+//   auto r = topk::run_topk<float>(dev, distances, k,
+//                                  Criterion::kSmallest, Algo::kRadixFlag);
+//
+// Values of any supported type are mapped to order-preserving unsigned
+// "directed keys" (largest-wins) once, the selected engine runs on keys,
+// and the result is mapped back. For u32/u64 inputs under kLargest the
+// mapping is the identity and costs nothing.
+#pragma once
+
+#include "topk/bitonic.hpp"
+#include "topk/bucket.hpp"
+#include "topk/heap.hpp"
+#include "topk/radix.hpp"
+#include "topk/sort.hpp"
+
+namespace drtopk::topk {
+
+enum class Algo {
+  kRadixFlag,         ///< optimized flag-based in-place radix (Section 5.1)
+  kRadixGgksOop,      ///< GGKS out-of-place radix [2]
+  kRadixGgksInplace,  ///< GGKS in-place radix with sentinel zeroing [2]
+  kBucketInplace,     ///< in-place bucket (flag-style re-scan) [2]
+  kBucketOop,         ///< GGKS out-of-place bucket [2]
+  kBucketGgksInplace, ///< GGKS in-place bucket with sentinel zeroing [2]
+  kBitonic,           ///< bitonic top-k [42]
+  kSortAndChoose,     ///< full radix sort then choose (THRUST stand-in)
+};
+
+std::string to_string(Algo a);
+
+/// The GPU algorithms compared throughout the paper's evaluation.
+inline std::vector<Algo> baseline_algos() {
+  return {Algo::kRadixGgksOop, Algo::kBucketOop, Algo::kBitonic,
+          Algo::kSortAndChoose};
+}
+
+/// Maps values to directed keys on the device (charged as one streaming
+/// pass). Identity-mapped types under kLargest skip the pass entirely
+/// (see run_topk).
+template <class T>
+vgpu::device_vector<typename data::KeyTraits<T>::Key> make_directed_keys(
+    Accum& acc, std::span<const T> v, Criterion c) {
+  using Key = typename data::KeyTraits<T>::Key;
+  vgpu::device_vector<Key> keys(v.size());
+  std::span<Key> out(keys.data(), keys.size());
+  auto cfg = stream_launch(acc.device(), v.size(), "to_keys");
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(v.size(), w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      u64 pos = s.begin;
+      const u64 end = s.begin + s.len;
+      while (pos < end) {
+        const u32 active =
+            static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
+        auto vals = w.load_coalesced(v, pos, active);
+        vgpu::LaneArray<Key> ks{};
+        for (u32 l = 0; l < active; ++l)
+          ks[l] = data::directed_key(vals[l], c);
+        w.store_coalesced(out, pos, ks, active);
+        pos += active;
+      }
+    });
+  });
+  return keys;
+}
+
+/// True when T's directed keys are bit-identical to its values.
+template <class T>
+constexpr bool key_is_identity(Criterion c) {
+  return (std::is_same_v<T, u32> || std::is_same_v<T, u64>) &&
+         c == Criterion::kLargest;
+}
+
+/// Runs `algo` on directed keys (the engine-level entry point).
+template <class K>
+TopkResult<K> run_topk_keys(vgpu::Device& dev, std::span<const K> keys,
+                            u64 k, Algo algo) {
+  switch (algo) {
+    case Algo::kRadixFlag:
+      return radix_topk_flag(dev, keys, k);
+    case Algo::kRadixGgksOop:
+      return radix_topk_ggks_oop(dev, keys, k);
+    case Algo::kRadixGgksInplace: {
+      // Destructive engine: operate on a scratch copy so callers keep their
+      // input (the copy is part of using this engine on borrowed data).
+      vgpu::device_vector<K> scratch(keys.begin(), keys.end());
+      return radix_topk_ggks_inplace(dev,
+                                     std::span<K>(scratch.data(),
+                                                  scratch.size()),
+                                     k);
+    }
+    case Algo::kBucketInplace:
+      return bucket_topk_inplace(dev, keys, k);
+    case Algo::kBucketOop:
+      return bucket_topk_oop(dev, keys, k);
+    case Algo::kBucketGgksInplace: {
+      vgpu::device_vector<K> scratch(keys.begin(), keys.end());
+      return bucket_topk_ggks_inplace(dev,
+                                      std::span<K>(scratch.data(),
+                                                   scratch.size()),
+                                      k);
+    }
+    case Algo::kBitonic:
+      return bitonic_topk(dev, keys, k);
+    case Algo::kSortAndChoose:
+      return sort_and_choose_topk(dev, keys, k);
+  }
+  return {};
+}
+
+/// Typed frontend: top-k of `values` under `criterion`.
+/// result.values[0] is the best element (largest for kLargest, smallest for
+/// kSmallest); result.kth is the k-th best — the k-selection answer.
+template <class T>
+struct TypedTopkResult {
+  std::vector<T> values;
+  T kth{};
+  vgpu::KernelStats stats;
+  double sim_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+template <class T>
+TypedTopkResult<T> run_topk(vgpu::Device& dev, std::span<const T> values,
+                            u64 k, Criterion criterion, Algo algo) {
+  using Key = typename data::KeyTraits<T>::Key;
+  WallTimer wall;
+  TopkResult<Key> kr;
+  if constexpr (std::is_same_v<T, u32> || std::is_same_v<T, u64>) {
+    if (criterion == Criterion::kLargest) {
+      kr = run_topk_keys<Key>(dev, values, k, algo);
+    }
+  }
+  if (kr.keys.empty()) {
+    Accum acc(dev);
+    auto keys = make_directed_keys(acc, values, criterion);
+    kr = run_topk_keys<Key>(
+        dev, std::span<const Key>(keys.data(), keys.size()), k, algo);
+    kr.stats += acc.stats();
+    kr.sim_ms += acc.sim_ms();
+  }
+
+  TypedTopkResult<T> r;
+  r.values.reserve(kr.keys.size());
+  for (const Key key : kr.keys)
+    r.values.push_back(data::value_from_directed_key<T>(key, criterion));
+  r.kth = r.values.back();
+  r.stats = kr.stats;
+  r.sim_ms = kr.sim_ms;
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+}  // namespace drtopk::topk

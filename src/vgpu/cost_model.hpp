@@ -1,0 +1,89 @@
+// Converts KernelStats into simulated GPU milliseconds.
+//
+// Roofline-style model: each hardware resource (DRAM bandwidth, shared-
+// memory banks, shuffle issue slots, atomic throughput) has a peak rate from
+// the GpuProfile; a kernel takes as long as its most-saturated resource,
+// plus a fixed launch overhead. This is Equation 6 of the paper evaluated
+// over *measured* counters instead of analytic counts. Absolute numbers are
+// a model; shapes (who wins, where crossovers fall) are what the
+// reproduction validates against the paper's figures.
+//
+// Memory traffic details:
+//  * The DRAM system moves whole 32-byte sectors, so scattered accesses are
+//    charged sector bytes even when the warp uses 4 of them.
+//  * A store that does not fill its sector triggers a read-modify-write:
+//    the fill read is charged on top (write-allocate). This is what makes
+//    GGKS's in-place zeroing stores so expensive relative to the flag-based
+//    design (Figure 12).
+#pragma once
+
+#include <algorithm>
+
+#include "vgpu/profile.hpp"
+#include "vgpu/stats.hpp"
+
+namespace drtopk::vgpu {
+
+class CostModel {
+ public:
+  explicit CostModel(GpuProfile profile) : profile_(std::move(profile)) {}
+
+  const GpuProfile& profile() const { return profile_; }
+
+  /// DRAM time: sector-granular traffic plus write-allocate fills.
+  double mem_ms(const KernelStats& s) const {
+    const double load_bytes =
+        std::max<double>(static_cast<double>(s.global_load_bytes),
+                         static_cast<double>(s.global_load_txns) * kSectorBytes);
+    const double store_sector_bytes =
+        static_cast<double>(s.global_store_txns) * kSectorBytes;
+    const double store_bytes =
+        std::max<double>(static_cast<double>(s.global_store_bytes),
+                         store_sector_bytes);
+    const double write_allocate = std::max(
+        0.0, store_sector_bytes - static_cast<double>(s.global_store_bytes));
+    return (load_bytes + store_bytes + write_allocate) /
+           (profile_.mem_bw_gbps * 1e9) * 1e3;
+  }
+
+  /// Shared-memory time: 4 bytes per access across num_sms x 32 banks,
+  /// conflicts serialize as extra accesses.
+  double shared_ms(const KernelStats& s) const {
+    const double accesses = static_cast<double>(
+        s.shared_loads + s.shared_stores + s.shared_bank_conflicts);
+    return accesses * 4.0 / (profile_.shared_bw_gbps() * 1e9) * 1e3;
+  }
+
+  /// Shuffle/vote time: lane-ops through the SMs' issue slots.
+  double shfl_ms(const KernelStats& s) const {
+    const double lane_ops =
+        static_cast<double>(s.shfl_ops) + static_cast<double>(s.vote_ops);
+    return lane_ops / (profile_.shfl_glanes_per_sec()) * 1e3;
+  }
+
+  /// Global-atomic time.
+  double atomic_ms(const KernelStats& s) const {
+    return static_cast<double>(s.atomic_ops) /
+           (profile_.atomic_gops * 1e9) * 1e3;
+  }
+
+  /// Simulated kernel time: slowest resource + launch overhead.
+  double kernel_ms(const KernelStats& s) const {
+    const double t = std::max({mem_ms(s), shared_ms(s), shfl_ms(s),
+                               atomic_ms(s)});
+    return t + static_cast<double>(s.kernels_launched) * kKernelLaunchMs;
+  }
+
+  /// Host<->device transfer time; used by the distributed reload model.
+  double transfer_ms(u64 bytes) const {
+    return static_cast<double>(bytes) / (profile_.pcie_gbps * 1e9) * 1e3;
+  }
+
+  /// Fixed kernel launch overhead (driver + scheduling), ~5 microseconds.
+  static constexpr double kKernelLaunchMs = 0.005;
+
+ private:
+  GpuProfile profile_;
+};
+
+}  // namespace drtopk::vgpu

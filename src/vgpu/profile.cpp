@@ -1,0 +1,80 @@
+#include "vgpu/profile.hpp"
+
+namespace drtopk::vgpu {
+
+namespace {
+
+GpuProfile make_v100s() {
+  GpuProfile p;
+  p.name = "V100S";
+  p.mem_bw_gbps = 1134.0;
+  p.global_mem_bytes = 32ull << 30;
+  p.shared_bytes_per_sm = 96ull << 10;
+  p.pcie_gbps = 12.0;  // PCIe 3.0 x16 effective; reproduces Table 2 reloads.
+  p.clock_ghz = 1.5;
+  p.num_sms = 80;
+  p.cores_per_sm = 64;
+  p.max_threads_per_sm = 2048;
+  p.atomic_gops = 8.0;
+  p.shfl_issue_lanes_per_sm_per_cycle = 8.0;
+  // Latency of an L2-missing global access on Volta is ~400-500 cycles
+  // (microbenchmark literature); shuffles are ~25-cycle fixed-latency ops.
+  p.c_global = 440.0;
+  p.c_shfl = 25.0;
+  return p;
+}
+
+GpuProfile make_titan_xp() {
+  GpuProfile p;
+  p.name = "TitanXp";
+  p.mem_bw_gbps = 547.7;
+  p.global_mem_bytes = 12ull << 30;
+  p.shared_bytes_per_sm = 96ull << 10;
+  p.pcie_gbps = 12.0;
+  p.clock_ghz = 1.58;
+  p.num_sms = 30;
+  p.cores_per_sm = 128;
+  p.max_threads_per_sm = 2048;
+  p.atomic_gops = 4.0;
+  p.shfl_issue_lanes_per_sm_per_cycle = 8.0;
+  p.c_global = 480.0;
+  p.c_shfl = 28.0;
+  return p;
+}
+
+GpuProfile make_a100() {
+  GpuProfile p;
+  p.name = "A100";
+  p.mem_bw_gbps = 2039.0;
+  p.global_mem_bytes = 80ull << 30;
+  p.shared_bytes_per_sm = 164ull << 10;
+  p.pcie_gbps = 25.0;  // PCIe 4.0 x16
+  p.clock_ghz = 1.41;
+  p.num_sms = 108;
+  p.cores_per_sm = 64;
+  p.max_threads_per_sm = 2048;
+  p.atomic_gops = 16.0;
+  p.shfl_issue_lanes_per_sm_per_cycle = 8.0;
+  p.c_global = 470.0;
+  p.c_shfl = 23.0;
+  return p;
+}
+
+}  // namespace
+
+const GpuProfile& GpuProfile::v100s() {
+  static const GpuProfile p = make_v100s();
+  return p;
+}
+
+const GpuProfile& GpuProfile::titan_xp() {
+  static const GpuProfile p = make_titan_xp();
+  return p;
+}
+
+const GpuProfile& GpuProfile::a100() {
+  static const GpuProfile p = make_a100();
+  return p;
+}
+
+}  // namespace drtopk::vgpu

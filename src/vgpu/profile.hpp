@@ -1,0 +1,68 @@
+// Hardware profiles for the GPUs the paper evaluates on (V100S, Titan Xp).
+// The cost model converts instrumented kernel counters into simulated
+// milliseconds using these numbers, so "which GPU" is a pure parameter —
+// exactly how Figure 23 of the paper swaps V100S for Titan Xp.
+#pragma once
+
+#include <string>
+
+#include "vgpu/types.hpp"
+
+namespace drtopk::vgpu {
+
+struct GpuProfile {
+  std::string name;
+
+  // Memory system.
+  double mem_bw_gbps = 0.0;     ///< Peak global-memory bandwidth (GB/s).
+  u64 global_mem_bytes = 0;     ///< Device memory capacity.
+  u64 shared_bytes_per_sm = 0;  ///< Configurable shared memory per SM.
+  double pcie_gbps = 0.0;       ///< Host<->device transfer bandwidth (GB/s);
+                                ///< drives the reload-overhead model (Table 2).
+
+  // Compute.
+  double clock_ghz = 0.0;
+  u32 num_sms = 0;
+  u32 cores_per_sm = 0;
+  u32 max_threads_per_sm = 0;
+
+  // Throughput knobs for the roofline cost model.
+  double atomic_gops = 0.0;  ///< global atomics per second (x1e9)
+  double shfl_issue_lanes_per_sm_per_cycle = 8.0;
+  ///< Effective shuffle lane-ops issued per SM per cycle. Shuffles are
+  ///< latency ~25-cycle instructions; at the low occupancy of
+  ///< one-warp-per-subrange kernels the sustained rate is far below the
+  ///< 128-lane peak — this knob captures that (it is what makes the
+  ///< delegate-construction optimization of Section 5.3 worthwhile).
+
+  // Per-instruction latencies in cycles: the C_global / C_shfl constants of
+  // Rule 4 (Section 5.2), used by the alpha tuner's analytic Const.
+  double c_global = 0.0;
+  double c_shfl = 0.0;
+
+  /// Aggregate shared-memory bandwidth: 32 banks x 4 B per SM per cycle.
+  double shared_bw_gbps() const {
+    return static_cast<double>(num_sms) * kSharedBanks * 4.0 * clock_ghz;
+  }
+
+  /// Sustained shuffle throughput in lane-ops per second.
+  double shfl_glanes_per_sec() const {
+    return static_cast<double>(num_sms) * shfl_issue_lanes_per_sm_per_cycle *
+           clock_ghz * 1e9;
+  }
+
+  /// Tesla V100S (Volta): 1,134 GB/s HBM2, 80 SMs @ 1.5 GHz, 32 GB
+  /// (Section 2.1 of the paper).
+  static const GpuProfile& v100s();
+
+  /// Titan Xp (Pascal): 547.7 GB/s GDDR5X, 30 SMs, 12 GB (Section 6.5).
+  static const GpuProfile& titan_xp();
+
+  /// A100 80GB (Ampere): 2,039 GB/s HBM2e, 108 SMs — the "most recent"
+  /// GPU the paper's introduction cites as motivation. Included as a
+  /// forward-looking profile: Dr. Top-k's bandwidth-bound stages scale
+  /// with the 2039/1134 ratio.
+  static const GpuProfile& a100();
+};
+
+}  // namespace drtopk::vgpu

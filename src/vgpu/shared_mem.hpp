@@ -1,0 +1,129 @@
+// Per-CTA shared memory with a bank-conflict model.
+//
+// V100-class GPUs expose 32 banks of 4-byte words; a warp access in which
+// multiple lanes hit *different words in the same bank* is replayed once per
+// extra word. Section 5.3 of the paper pads its shared-memory layout to
+// avoid exactly these replays; SharedSpan::warp_gather/warp_scatter measure
+// them so the padding ablation is observable.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "vgpu/stats.hpp"
+#include "vgpu/types.hpp"
+
+namespace drtopk::vgpu {
+
+template <class T>
+class SharedSpan {
+ public:
+  SharedSpan() = default;
+  SharedSpan(T* p, u64 n, KernelStats* stats) : p_(p), n_(n), stats_(stats) {}
+
+  u64 size() const { return n_; }
+
+  T ld(u64 i) const {
+    assert(i < n_);
+    stats_->shared_loads += 1;
+    return p_[i];
+  }
+
+  void st(u64 i, const T& v) {
+    assert(i < n_);
+    stats_->shared_stores += 1;
+    p_[i] = v;
+  }
+
+  /// Warp-wide gather: lane l reads element idx(l). Counts `active` loads
+  /// plus the replay cycles caused by bank conflicts.
+  template <class IdxFn>
+  LaneArray<T> warp_gather(u32 active, IdxFn&& idx) const {
+    LaneArray<T> out{};
+    u64 idxs[kWarpSize];
+    for (u32 l = 0; l < active; ++l) {
+      idxs[l] = idx(l);
+      assert(idxs[l] < n_);
+      out[l] = p_[idxs[l]];
+    }
+    stats_->shared_loads += active;
+    stats_->shared_bank_conflicts += conflict_replays(idxs, active);
+    return out;
+  }
+
+  /// Warp-wide scatter: lane l writes val[l] to element idx(l).
+  template <class IdxFn>
+  void warp_scatter(u32 active, IdxFn&& idx, const LaneArray<T>& val) {
+    u64 idxs[kWarpSize];
+    for (u32 l = 0; l < active; ++l) {
+      idxs[l] = idx(l);
+      assert(idxs[l] < n_);
+      p_[idxs[l]] = val[l];
+    }
+    stats_->shared_stores += active;
+    stats_->shared_bank_conflicts += conflict_replays(idxs, active);
+  }
+
+  /// Raw access for verification in tests (not charged).
+  T* data() { return p_; }
+  const T* data() const { return p_; }
+
+ private:
+  /// Replays beyond the first cycle: for each bank, count distinct words
+  /// touched; the access is serialized max-over-banks times.
+  u64 conflict_replays(const u64* idxs, u32 active) const {
+    u32 bank_words[kSharedBanks][kWarpSize];
+    u32 bank_count[kSharedBanks] = {};
+    u32 worst = 1;
+    for (u32 l = 0; l < active; ++l) {
+      const u64 word = idxs[l] * sizeof(T) / 4;
+      const u32 bank = static_cast<u32>(word % kSharedBanks);
+      bool seen = false;
+      for (u32 j = 0; j < bank_count[bank]; ++j) {
+        if (bank_words[bank][j] == static_cast<u32>(word)) {
+          seen = true;  // same word: broadcast, no extra replay
+          break;
+        }
+      }
+      if (!seen) {
+        bank_words[bank][bank_count[bank]++] = static_cast<u32>(word);
+        worst = std::max(worst, bank_count[bank]);
+      }
+    }
+    return worst - 1;
+  }
+
+  T* p_ = nullptr;
+  u64 n_ = 0;
+  KernelStats* stats_ = nullptr;
+};
+
+/// Bump allocator over the CTA's shared-memory arena. Kernels carve typed
+/// spans out of it exactly like `__shared__` array declarations.
+class SharedMem {
+ public:
+  SharedMem(std::byte* arena, u64 capacity, KernelStats* stats)
+      : arena_(arena), capacity_(capacity), stats_(stats) {}
+
+  template <class T>
+  SharedSpan<T> alloc(u64 n) {
+    const u64 align = alignof(T);
+    u64 off = (used_ + align - 1) / align * align;
+    const u64 bytes = n * sizeof(T);
+    assert(off + bytes <= capacity_ && "shared memory overflow");
+    used_ = off + bytes;
+    return SharedSpan<T>(reinterpret_cast<T*>(arena_ + off), n, stats_);
+  }
+
+  u64 used() const { return used_; }
+  u64 capacity() const { return capacity_; }
+
+ private:
+  std::byte* arena_;
+  u64 capacity_;
+  u64 used_ = 0;
+  KernelStats* stats_;
+};
+
+}  // namespace drtopk::vgpu

@@ -1,0 +1,18 @@
+#include "vgpu/stats.hpp"
+
+#include <sstream>
+
+namespace drtopk::vgpu {
+
+std::string KernelStats::to_string() const {
+  std::ostringstream os;
+  os << "loads=" << global_load_elems << " (" << global_load_txns << " txn)"
+     << " stores=" << global_store_elems << " (" << global_store_txns << " txn)"
+     << " shfl=" << shfl_ops << " atomics=" << atomic_ops
+     << " shared=" << (shared_loads + shared_stores)
+     << " (+" << shared_bank_conflicts << " conflicts)"
+     << " kernels=" << kernels_launched << " ctas=" << ctas_run;
+  return os.str();
+}
+
+}  // namespace drtopk::vgpu

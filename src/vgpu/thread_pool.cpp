@@ -1,0 +1,98 @@
+#include "vgpu/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace drtopk::vgpu {
+
+ThreadPool::ThreadPool(u32 threads) {
+  u32 n = threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                       : threads;
+  // Worker 0 is the calling thread; spawn n-1 helpers.
+  for (u32 i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_job(Job& job, u32 worker_id) {
+  try {
+    for (;;) {
+      const u64 base = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (base >= job.end) break;
+      const u64 hi = std::min(job.end, base + job.chunk);
+      for (u64 i = base; i < hi; ++i) (*job.fn)(i, worker_id);
+    }
+  } catch (...) {
+    std::lock_guard lk(job.error_mu);
+    if (!job.error) job.error = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(u32 worker_id) {
+  u64 seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen_seq); });
+      if (stop_) return;
+      job = job_;
+      seen_seq = job_seq_;
+      job->remaining_workers.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_job(*job, worker_id);
+    {
+      std::lock_guard lk(mu_);
+      job->remaining_workers.fetch_sub(1, std::memory_order_relaxed);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(u64 begin, u64 end,
+                              const std::function<void(u64, u32)>& fn) {
+  if (begin >= end) return;
+  const u64 n = end - begin;
+  if (n == 1 || workers_.empty()) {
+    for (u64 i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+
+  // Offset-free iteration: job indexes [0, n), fn sees begin+i.
+  std::function<void(u64, u32)> shifted = [&](u64 i, u32 w) { fn(begin + i, w); };
+
+  Job job;
+  job.fn = &shifted;
+  job.end = n;
+  // A few chunks per worker keeps load balanced without contention.
+  job.chunk = std::max<u64>(1, n / (size() * 4));
+
+  {
+    std::lock_guard lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_.notify_all();
+
+  run_job(job, 0);  // calling thread participates as worker 0
+
+  {
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.next.load(std::memory_order_relaxed) >= job.end &&
+             job.remaining_workers.load(std::memory_order_relaxed) == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace drtopk::vgpu

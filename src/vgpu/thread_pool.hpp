@@ -1,0 +1,59 @@
+// A small persistent thread pool used to execute CTAs in parallel.
+// One pool per Device; parallel_for hands out contiguous chunks of the
+// iteration space so neighbouring CTAs (which touch neighbouring memory)
+// stay on the same worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "vgpu/types.hpp"
+
+namespace drtopk::vgpu {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(u32 threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  u32 size() const { return static_cast<u32>(workers_.size()) + 1; }
+
+  /// Runs fn(index, worker_id) for every index in [begin, end), blocking
+  /// until all iterations finish. worker_id < size() and is stable for the
+  /// duration of the call, so callers can keep per-worker accumulators
+  /// without atomics. Exceptions from fn propagate to the caller.
+  void parallel_for(u64 begin, u64 end,
+                    const std::function<void(u64, u32)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(u64, u32)>* fn = nullptr;
+    std::atomic<u64> next{0};
+    u64 end = 0;
+    u64 chunk = 1;
+    std::atomic<u32> remaining_workers{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void worker_loop(u32 worker_id);
+  static void run_job(Job& job, u32 worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;  // guarded by mu_
+  u64 job_seq_ = 0;     // guarded by mu_
+  bool stop_ = false;   // guarded by mu_
+};
+
+}  // namespace drtopk::vgpu

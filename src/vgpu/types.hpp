@@ -1,0 +1,49 @@
+// Basic integer/float aliases and warp-wide register file types shared by the
+// whole virtual-GPU substrate.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace drtopk {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+namespace vgpu {
+
+/// SIMT width. Matches NVIDIA hardware; the paper's shuffle accounting
+/// (31 shuffles per full-warp reduction, Section 5.2) assumes this value.
+inline constexpr u32 kWarpSize = 32;
+
+/// Global-memory transaction (sector) granularity in bytes. V100-class GPUs
+/// move 32-byte sectors; Table 3 of the paper counts these transactions.
+inline constexpr u32 kSectorBytes = 32;
+
+/// Number of shared-memory banks; consecutive 4-byte words map to
+/// consecutive banks. Used by the bank-conflict model.
+inline constexpr u32 kSharedBanks = 32;
+
+/// One register per lane of a warp. Warp-cooperative kernels keep their
+/// per-thread state in LaneArrays and exchange it through Warp collectives,
+/// mirroring how CUDA kernels keep values in registers and shuffle them.
+template <class T>
+using LaneArray = std::array<T, kWarpSize>;
+
+/// Fills a LaneArray with a single value (the usual register initializer).
+template <class T>
+constexpr LaneArray<T> lane_fill(const T& v) {
+  LaneArray<T> a{};
+  for (u32 i = 0; i < kWarpSize; ++i) a[i] = v;
+  return a;
+}
+
+}  // namespace vgpu
+}  // namespace drtopk

@@ -1,0 +1,11 @@
+// Umbrella header for the virtual-GPU substrate.
+#pragma once
+
+#include "vgpu/cost_model.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/profile.hpp"
+#include "vgpu/shared_mem.hpp"
+#include "vgpu/stats.hpp"
+#include "vgpu/thread_pool.hpp"
+#include "vgpu/types.hpp"
+#include "vgpu/warp.hpp"

@@ -1,0 +1,268 @@
+// Warp-cooperative programming model.
+//
+// Kernels on the virtual GPU are written warp-synchronously: a Warp executes
+// as a unit, per-thread registers live in LaneArray<T>, and lanes exchange
+// data only through the collectives below. Each collective charges the
+// shuffle count the hardware would execute — a full 32-lane reduction costs
+// 16+8+4+2+1 = 31 shuffle executions, the exact accounting used in the
+// paper's Equation 2 and Rule 4.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <span>
+#include <utility>
+
+#include "vgpu/stats.hpp"
+#include "vgpu/types.hpp"
+
+namespace drtopk::vgpu {
+
+namespace detail {
+
+/// Sector transactions for a contiguous warp access of `bytes` bytes.
+/// Contiguous aligned accesses are perfectly coalesced.
+inline u64 coalesced_txns(u64 bytes) {
+  return (bytes + kSectorBytes - 1) / kSectorBytes;
+}
+
+template <class T>
+struct AtomicOps {
+  static T fetch_add(T* p, T v) {
+    return std::atomic_ref<T>(*p).fetch_add(v, std::memory_order_relaxed);
+  }
+  static T fetch_max(T* p, T v) {
+    std::atomic_ref<T> a(*p);
+    T cur = a.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    return cur;
+  }
+};
+
+}  // namespace detail
+
+class Warp {
+ public:
+  Warp(KernelStats& stats, u32 global_id, u32 grid_warps)
+      : stats_(&stats), global_id_(global_id), grid_warps_(grid_warps) {}
+
+  u32 global_id() const { return global_id_; }
+  u32 grid_warps() const { return grid_warps_; }
+  KernelStats& stats() { return *stats_; }
+
+  // ------------------------------------------------------------------
+  // Global memory
+  // ------------------------------------------------------------------
+
+  /// Single-lane (divergent) load: one sector transaction regardless of size.
+  template <class T>
+  T ld(std::span<const T> v, u64 i) {
+    stats_->global_load_elems += 1;
+    stats_->global_load_bytes += sizeof(T);
+    stats_->global_load_txns += 1;
+    return v[i];
+  }
+
+  /// Single-lane (divergent) store.
+  template <class T>
+  void st(std::span<T> v, u64 i, const T& x) {
+    stats_->global_store_elems += 1;
+    stats_->global_store_bytes += sizeof(T);
+    stats_->global_store_txns += 1;
+    v[i] = x;
+  }
+
+  /// Warp-coalesced load of `active` consecutive elements starting at base;
+  /// lane l receives v[base + l]. Inactive lanes get value-initialized T.
+  template <class T>
+  LaneArray<T> load_coalesced(std::span<const T> v, u64 base,
+                              u32 active = kWarpSize) {
+    assert(active <= kWarpSize && base + active <= v.size());
+    charge_coalesced_load<T>(active);
+    LaneArray<T> out{};
+    for (u32 l = 0; l < active; ++l) out[l] = v[base + l];
+    return out;
+  }
+
+  /// Warp-coalesced store of `active` consecutive elements.
+  template <class T>
+  void store_coalesced(std::span<T> v, u64 base, const LaneArray<T>& x,
+                       u32 active = kWarpSize) {
+    assert(active <= kWarpSize && base + active <= v.size());
+    charge_coalesced_store<T>(active);
+    for (u32 l = 0; l < active; ++l) v[base + l] = x[l];
+  }
+
+  /// Streams [begin, begin+len) through the warp in coalesced 32-element
+  /// chunks; calls f(lane, value) for every element. This is the canonical
+  /// "each thread strides through the subrange" pattern of the paper's
+  /// warp-centric delegate construction.
+  template <class T, class F>
+  void scan_coalesced(std::span<const T> v, u64 begin, u64 len, F&& f) {
+    u64 pos = begin;
+    const u64 end = begin + len;
+    assert(end <= v.size());
+    while (pos < end) {
+      const u32 active = static_cast<u32>(std::min<u64>(kWarpSize, end - pos));
+      charge_coalesced_load<T>(active);
+      for (u32 l = 0; l < active; ++l) f(l, v[pos + l]);
+      pos += active;
+    }
+  }
+
+  /// Like scan_coalesced but also passes the element index:
+  /// f(lane, value, index).
+  template <class T, class F>
+  void scan_coalesced_idx(std::span<const T> v, u64 begin, u64 len, F&& f) {
+    u64 pos = begin;
+    const u64 end = begin + len;
+    assert(end <= v.size());
+    while (pos < end) {
+      const u32 active = static_cast<u32>(std::min<u64>(kWarpSize, end - pos));
+      charge_coalesced_load<T>(active);
+      for (u32 l = 0; l < active; ++l) f(l, v[pos + l], pos + l);
+      pos += active;
+    }
+  }
+
+  /// Scattered warp store: lane l (if bit l of mask set) writes val[l] to
+  /// v[idx[l]]. Charged one sector per active lane — the uncoalesced pattern
+  /// the paper's flag-based radix optimization removes.
+  template <class T>
+  void store_scattered(std::span<T> v, const LaneArray<u64>& idx,
+                       const LaneArray<T>& val, u32 mask) {
+    const u32 active = std::popcount(mask);
+    stats_->global_store_elems += active;
+    stats_->global_store_bytes += static_cast<u64>(active) * sizeof(T);
+    stats_->global_store_txns += active;
+    for (u32 l = 0; l < kWarpSize; ++l) {
+      if (mask & (1u << l)) v[idx[l]] = val[l];
+    }
+  }
+
+  /// Lane-scoped atomic fetch-add (thread-safe across CTAs).
+  template <class T>
+  T atomic_add(std::span<T> v, u64 i, T delta) {
+    stats_->atomic_ops += 1;
+    return detail::AtomicOps<T>::fetch_add(&v[i], delta);
+  }
+
+  template <class T>
+  T atomic_max(std::span<T> v, u64 i, T x) {
+    stats_->atomic_ops += 1;
+    return detail::AtomicOps<T>::fetch_max(&v[i], x);
+  }
+
+  // ------------------------------------------------------------------
+  // Collectives (intra-warp communication via shuffles)
+  // ------------------------------------------------------------------
+
+  /// Butterfly max-reduction; charges sum_{i=1..5} active/2^i shuffles
+  /// (31 for a full warp, per Section 5.2).
+  template <class T>
+  T reduce_max(const LaneArray<T>& x, u32 active = kWarpSize) {
+    charge_reduction(active);
+    T best = x[0];
+    for (u32 l = 1; l < active; ++l)
+      if (x[l] > best) best = x[l];
+    return best;
+  }
+
+  template <class T>
+  T reduce_min(const LaneArray<T>& x, u32 active = kWarpSize) {
+    charge_reduction(active);
+    T best = x[0];
+    for (u32 l = 1; l < active; ++l)
+      if (x[l] < best) best = x[l];
+    return best;
+  }
+
+  template <class T>
+  T reduce_add(const LaneArray<T>& x, u32 active = kWarpSize) {
+    charge_reduction(active);
+    T sum{};
+    for (u32 l = 0; l < active; ++l) sum += x[l];
+    return sum;
+  }
+
+  /// Max-reduction that also reports the winning lane (lowest lane wins
+  /// ties, matching the deterministic behaviour of a shfl-based argmax).
+  template <class T>
+  std::pair<T, u32> reduce_max_index(const LaneArray<T>& x,
+                                     u32 active = kWarpSize) {
+    charge_reduction(active);
+    T best = x[0];
+    u32 lane = 0;
+    for (u32 l = 1; l < active; ++l) {
+      if (x[l] > best) {
+        best = x[l];
+        lane = l;
+      }
+    }
+    return {best, lane};
+  }
+
+  /// Broadcast from src lane to all active lanes (shfl with a uniform
+  /// source); one shuffle execution per receiving lane.
+  template <class T>
+  T broadcast(const LaneArray<T>& x, u32 src, u32 active = kWarpSize) {
+    assert(src < kWarpSize);
+    stats_->shfl_ops += active;
+    return x[src];
+  }
+
+  /// Warp vote: bit l of the result is pred[l] != 0 for active lanes.
+  u32 ballot(const LaneArray<u8>& pred, u32 active = kWarpSize) {
+    stats_->vote_ops += 1;
+    u32 mask = 0;
+    for (u32 l = 0; l < active; ++l)
+      if (pred[l]) mask |= (1u << l);
+    return mask;
+  }
+
+  /// Exclusive prefix sum across lanes (Hillis-Steele via shfl_up):
+  /// step d in {1,2,4,8,16} has (active - d) receiving lanes.
+  template <class T>
+  LaneArray<T> exclusive_scan_add(const LaneArray<T>& x,
+                                  u32 active = kWarpSize) {
+    for (u32 d = 1; d < active; d <<= 1) stats_->shfl_ops += active - d;
+    LaneArray<T> out{};
+    T run{};
+    for (u32 l = 0; l < active; ++l) {
+      out[l] = run;
+      run += x[l];
+    }
+    return out;
+  }
+
+ private:
+  template <class T>
+  void charge_coalesced_load(u32 active) {
+    stats_->global_load_elems += active;
+    stats_->global_load_bytes += static_cast<u64>(active) * sizeof(T);
+    stats_->global_load_txns +=
+        detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
+  }
+
+  template <class T>
+  void charge_coalesced_store(u32 active) {
+    stats_->global_store_elems += active;
+    stats_->global_store_bytes += static_cast<u64>(active) * sizeof(T);
+    stats_->global_store_txns +=
+        detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
+  }
+
+  void charge_reduction(u32 active) {
+    // Tree reduction: halve the active lanes each step.
+    for (u32 w = active / 2; w >= 1; w /= 2) stats_->shfl_ops += w;
+    if (active == 1) return;  // no communication needed
+  }
+
+  KernelStats* stats_;
+  u32 global_id_;
+  u32 grid_warps_;
+};
+
+}  // namespace drtopk::vgpu

@@ -1,0 +1,185 @@
+// Property tests for delegate-vector construction (core/delegate.hpp):
+// the delegates of every subrange are exactly its top-beta multiset, pads
+// are well-formed, the shared-memory and warp paths agree, and the
+// k-selection API matches the full pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dr_topk.hpp"
+#include "data/distributions.hpp"
+
+namespace drtopk::core {
+namespace {
+
+using topk::reference_topk;
+
+vgpu::Device& shared_device() {
+  static vgpu::Device dev(vgpu::GpuProfile::v100s());
+  return dev;
+}
+
+/// Brute-force delegates: top-`beta` of each subrange, descending.
+std::vector<u32> expected_delegates(std::span<const u32> v, u64 s, int alpha,
+                                    u32 beta) {
+  const u64 len = u64{1} << alpha;
+  const u64 begin = s * len;
+  const u64 real = std::min(len, v.size() - begin);
+  return reference_topk(v.subspan(begin, real), std::min<u64>(beta, real));
+}
+
+struct ConstructCase {
+  u64 n;
+  int alpha;
+  u32 beta;
+  bool optimized;
+};
+
+class DelegateConstruction
+    : public ::testing::TestWithParam<ConstructCase> {};
+
+TEST_P(DelegateConstruction, DelegatesAreExactSubrangeTopBeta) {
+  const auto& c = GetParam();
+  for (auto d : {data::Distribution::kUniform, data::Distribution::kNormal}) {
+    auto v = data::generate(c.n, d, c.n + c.alpha);
+    std::span<const u32> vs(v.data(), v.size());
+    topk::Accum acc(shared_device());
+    ConstructOpts opts;
+    opts.optimized = c.optimized;
+    auto dv = build_delegate_vector<u32>(acc, vs, c.alpha, c.beta, opts);
+
+    ASSERT_EQ(dv.size(), dv.num_subranges * c.beta);
+    for (u64 s = 0; s < dv.num_subranges; ++s) {
+      auto expect = expected_delegates(vs, s, c.alpha, c.beta);
+      for (u64 j = 0; j < c.beta; ++j) {
+        const u64 slot = s * c.beta + j;
+        if (j < expect.size()) {
+          ASSERT_EQ(dv.keys[slot], expect[j])
+              << "subrange " << s << " slot " << j;
+          ASSERT_EQ(dv.sids[slot], static_cast<u32>(s));
+        } else {
+          // Padded slot (short tail subrange).
+          ASSERT_EQ(dv.sids[slot], kInvalidSid);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DelegateConstruction,
+    ::testing::Values(ConstructCase{1 << 12, 3, 1, true},   // shared path
+                      ConstructCase{1 << 12, 3, 1, false},  // warp path
+                      ConstructCase{1 << 12, 5, 2, true},
+                      ConstructCase{1 << 12, 5, 4, true},
+                      ConstructCase{1 << 14, 8, 2, true},   // warp (alpha>5)
+                      ConstructCase{1 << 14, 8, 4, false},
+                      ConstructCase{(1 << 12) + 5, 4, 2, true},  // tail
+                      ConstructCase{(1 << 12) + 1, 4, 4, false},
+                      ConstructCase{100, 2, 4, true},  // beta == subrange len
+                      ConstructCase{100, 1, 4, false}  // beta > subrange len
+                      ));
+
+TEST(DelegateConstruction, SharedAndWarpPathsProduceIdenticalVectors) {
+  const u64 n = (1 << 15) + 13;
+  auto v = data::generate(n, data::Distribution::kCustomized, 9);
+  std::span<const u32> vs(v.data(), v.size());
+  for (int alpha : {2, 4, 5}) {
+    for (u32 beta : {1u, 2u, 3u}) {
+      topk::Accum a1(shared_device()), a2(shared_device());
+      ConstructOpts shared_opts, warp_opts;
+      warp_opts.optimized = false;
+      auto dvs = build_delegate_vector<u32>(a1, vs, alpha, beta, shared_opts);
+      auto dvw = build_delegate_vector<u32>(a2, vs, alpha, beta, warp_opts);
+      EXPECT_EQ(dvs.keys, dvw.keys) << "alpha=" << alpha << " beta=" << beta;
+      EXPECT_EQ(dvs.sids, dvw.sids);
+    }
+  }
+}
+
+TEST(DelegateConstruction, SubrangeLenGeometry) {
+  DelegateVector<u32> dv;
+  dv.alpha = 4;
+  dv.num_subranges = 5;
+  const u64 n = 4 * 16 + 7;  // last subrange short
+  EXPECT_EQ(dv.subrange_len(0, n), 16u);
+  EXPECT_EQ(dv.subrange_len(3, n), 16u);
+  EXPECT_EQ(dv.subrange_len(4, n), 7u);
+}
+
+// ---- k-selection API ----
+
+class KSelectionTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(KSelectionTest, MatchesNthElement) {
+  const u64 n = 1 << 15;
+  for (auto d : {data::Distribution::kUniform, data::Distribution::kNormal,
+                 data::Distribution::kCustomized}) {
+    auto v = data::generate(n, d, GetParam());
+    std::span<const u32> vs(v.data(), v.size());
+    const u64 k = GetParam();
+    const u32 got = dr_kth_keys<u32>(shared_device(), vs, k);
+    EXPECT_EQ(got, reference_topk(vs, k).back()) << data::to_string(d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KSelectionTest,
+                         ::testing::Values(1, 2, 100, 1 << 10, 1 << 13));
+
+TEST(KSelection, CheaperThanFullTopk) {
+  const u64 n = 1 << 20;
+  const u64 k = 1 << 12;
+  auto v = data::generate(n, data::Distribution::kUniform, 10);
+  std::span<const u32> vs(v.data(), v.size());
+  StageBreakdown sel, full;
+  (void)dr_kth_keys<u32>(shared_device(), vs, k, DrTopkConfig{}, &sel);
+  (void)dr_topk_keys<u32>(shared_device(), vs, k, DrTopkConfig{}, &full);
+  // The selection-only second stage skips the collection pass.
+  EXPECT_LE(sel.second_ms, full.second_ms);
+  EXPECT_LT(sel.second_stats.global_store_elems,
+            full.second_stats.global_store_elems + 1);
+}
+
+// ---- Hierarchical reduction option for the second top-k threshold ----
+
+TEST(KappaHook, PipelineUsesHookedThreshold) {
+  const u64 n = 1 << 14;
+  auto v = data::generate(n, data::Distribution::kUniform, 11);
+  std::span<const u32> vs(v.data(), v.size());
+  u64 seen_kappa = 0;
+  DrTopkConfig cfg;
+  cfg.beta = 1;
+  cfg.kappa_hook = [&](u64 kappa) {
+    seen_kappa = kappa;
+    return kappa;  // identity: result must stay exact
+  };
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 64, cfg);
+  EXPECT_GT(seen_kappa, 0u);
+  EXPECT_EQ(r.keys, reference_topk(vs, 64));
+}
+
+TEST(KappaHook, SharperThresholdShrinksCandidates) {
+  const u64 n = 1 << 16;
+  const u64 k = 256;
+  auto v = data::generate(n, data::Distribution::kUniform, 12);
+  std::span<const u32> vs(v.data(), v.size());
+  const u32 true_kth = reference_topk(vs, k).back();
+
+  DrTopkConfig plain;
+  plain.beta = 1;
+  StageBreakdown b0;
+  (void)dr_topk_keys<u32>(shared_device(), vs, k, plain, &b0);
+
+  DrTopkConfig sharp = plain;
+  // A hook that knows the exact answer (the best any exchange could do).
+  sharp.kappa_hook = [true_kth](u64 kappa) {
+    return std::max<u64>(kappa, true_kth);
+  };
+  StageBreakdown b1;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, k, sharp, &b1);
+  EXPECT_EQ(r.keys, reference_topk(vs, k));
+  EXPECT_LE(b1.concat_len, b0.concat_len);
+}
+
+}  // namespace
+}  // namespace drtopk::core

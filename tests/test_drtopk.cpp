@@ -1,0 +1,395 @@
+// Tests for the Dr. Top-k pipeline: the paper's worked examples (Figures 5
+// and 8), the three delegate rules, exhaustive correctness sweeps over every
+// configuration knob, and the instrumentation invariants that the cost
+// analysis (Equations 2-5) relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dr_topk.hpp"
+#include "data/distributions.hpp"
+
+namespace drtopk::core {
+namespace {
+
+using data::Distribution;
+using topk::reference_topk;
+
+vgpu::Device& shared_device() {
+  static vgpu::Device dev(vgpu::GpuProfile::v100s());
+  return dev;
+}
+
+/// The 16-element input vector of Figures 1/2/5/8, split into four
+/// subranges of four elements.
+std::vector<u32> figure_vector() {
+  return {2001, 101,  1323, 3012,   // subrange 0 (max 3012)
+          2121, 1322, 2313, 1023,   // subrange 1 (max 2313)
+          3000, 3010, 1002, 3210,   // subrange 2 (max 3210)
+          1020, 333,  2321, 2003};  // subrange 3 (max 2321)
+}
+
+DrTopkConfig exact_cfg() {
+  DrTopkConfig cfg;
+  cfg.alpha = 2;  // subranges of 4, as in the figures
+  cfg.skip_last_first_iter = false;
+  return cfg;
+}
+
+TEST(PaperExamples, Figure5MaximumDelegateTop2) {
+  auto v = figure_vector();
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg = exact_cfg();
+  cfg.beta = 1;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 2, cfg, &bd);
+  EXPECT_EQ(r.keys, (std::vector<u32>{3210, 3012}));
+  EXPECT_EQ(bd.num_subranges, 4u);
+  EXPECT_EQ(bd.delegate_len, 4u);  // one delegate per subrange
+  // Subranges 0 and 2 qualify (their maxima are the top-2 delegates).
+  EXPECT_EQ(bd.qualified_subranges, 2u);
+  // Rule 2 filtering: only {3012, 3210} survive into the concatenated
+  // vector (Section 4.2's walkthrough of this exact example).
+  EXPECT_EQ(bd.concat_len, 2u);
+}
+
+TEST(PaperExamples, Figure5WithoutFilteringConcatenatesWholeSubranges) {
+  auto v = figure_vector();
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg = exact_cfg();
+  cfg.beta = 1;
+  cfg.filtering = false;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 2, cfg, &bd);
+  EXPECT_EQ(r.keys, (std::vector<u32>{3210, 3012}));
+  // Both qualified subranges are copied in full: 8 elements.
+  EXPECT_EQ(bd.concat_len, 8u);
+}
+
+TEST(PaperExamples, Figure8aBetaDelegateTop3) {
+  auto v = figure_vector();
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg = exact_cfg();
+  cfg.beta = 2;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 3, cfg, &bd);
+  EXPECT_EQ(r.keys, (std::vector<u32>{3210, 3012, 3010}));
+  // Subrange 2 is fully taken (both 3210 and 3010 are top-3 delegates);
+  // subrange 0 contributes only its taken delegate 3012. The concatenated
+  // vector is {3012, 3010, 3210} — exactly Figure 8(a).
+  EXPECT_EQ(bd.qualified_subranges, 1u);
+  EXPECT_EQ(bd.concat_len, 3u);
+  EXPECT_FALSE(bd.second_skipped);
+}
+
+TEST(PaperExamples, Figure8bBetaDelegateTop2SkipsSecondTopk) {
+  auto v = figure_vector();
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg = exact_cfg();
+  cfg.beta = 2;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 2, cfg, &bd);
+  EXPECT_EQ(r.keys, (std::vector<u32>{3210, 3012}));
+  // No subrange has all beta delegates taken: Rule 3 answers from the
+  // delegates alone — "neither concatenation nor second top-k is needed".
+  EXPECT_EQ(bd.qualified_subranges, 0u);
+  EXPECT_TRUE(bd.second_skipped);
+  EXPECT_EQ(bd.second_ms, 0.0);
+}
+
+// ---- Configuration sweep: every knob combination stays exact ----
+
+struct PipelineCase {
+  Distribution dist;
+  u64 n;
+  u64 k;
+  u32 beta;
+  bool filtering;
+  bool skip_last;
+  bool optimized;
+};
+
+std::string pipeline_name(const ::testing::TestParamInfo<PipelineCase>& i) {
+  const auto& c = i.param;
+  return data::to_string(c.dist) + "_n" + std::to_string(c.n) + "_k" +
+         std::to_string(c.k) + "_b" + std::to_string(c.beta) +
+         (c.filtering ? "_filt" : "_nofilt") + (c.skip_last ? "_skip" : "") +
+         (c.optimized ? "_opt" : "");
+}
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineTest, ExactMultiset) {
+  const auto& c = GetParam();
+  auto v = data::generate(c.n, c.dist, c.n * 7 + c.k * 3 + c.beta);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.beta = c.beta;
+  cfg.filtering = c.filtering;
+  cfg.skip_last_first_iter = c.skip_last;
+  cfg.construct.optimized = c.optimized;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, c.k, cfg, &bd);
+  EXPECT_EQ(r.keys, reference_topk(vs, c.k));
+  EXPECT_EQ(r.kth, r.keys.back());
+}
+
+std::vector<PipelineCase> pipeline_cases() {
+  std::vector<PipelineCase> cases;
+  for (Distribution d : {Distribution::kUniform, Distribution::kNormal,
+                         Distribution::kCustomized}) {
+    for (u64 n : {u64{4000}, u64{1} << 16}) {
+      for (u64 k : {u64{1}, u64{16}, u64{333}, u64{4096}}) {
+        if (k * 2 > n) continue;
+        for (u32 beta : {1u, 2u, 3u, 4u}) {
+          cases.push_back({d, n, k, beta, true, true, true});
+        }
+        cases.push_back({d, n, k, 2, false, false, true});
+        cases.push_back({d, n, k, 1, false, false, false});
+        cases.push_back({d, n, k, 2, true, false, false});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineTest,
+                         ::testing::ValuesIn(pipeline_cases()),
+                         pipeline_name);
+
+// ---- Explicit alpha sweep (small and large subranges, both paths) ----
+
+class AlphaSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaSweepTest, ExactForEveryAlpha) {
+  const u64 n = 1 << 15;
+  const u64 k = 100;
+  auto v = data::generate(n, Distribution::kUniform, 77);
+  std::span<const u32> vs(v.data(), v.size());
+  for (u32 beta : {1u, 2u}) {
+    DrTopkConfig cfg;
+    cfg.alpha = GetParam();
+    cfg.beta = beta;
+    StageBreakdown bd;
+    auto r = dr_topk_keys<u32>(shared_device(), vs, k, cfg, &bd);
+    EXPECT_EQ(r.keys, reference_topk(vs, k)) << "alpha=" << GetParam()
+                                             << " beta=" << beta;
+    EXPECT_EQ(bd.alpha, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest, ::testing::Range(1, 9));
+
+// ---- Different first/second algorithms (Dr. Top-k assists them all) ----
+
+class AssistedAlgoTest : public ::testing::TestWithParam<topk::Algo> {};
+
+TEST_P(AssistedAlgoTest, SecondAlgoVariants) {
+  const u64 n = 1 << 15;
+  auto v = data::generate(n, Distribution::kUniform, 5);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.second_algo = GetParam();
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 257, cfg);
+  EXPECT_EQ(r.keys, reference_topk(vs, 257));
+}
+
+TEST_P(AssistedAlgoTest, FirstAlgoVariants) {
+  const u64 n = 1 << 15;
+  auto v = data::generate(n, Distribution::kNormal, 5);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.first_algo = GetParam();
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 64, cfg);
+  EXPECT_EQ(r.keys, reference_topk(vs, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, AssistedAlgoTest,
+    ::testing::Values(topk::Algo::kRadixFlag, topk::Algo::kBucketInplace,
+                      topk::Algo::kBitonic, topk::Algo::kRadixGgksOop),
+    [](const auto& info) {
+      std::string s = topk::to_string(info.param);
+      for (auto& ch : s)
+        if (ch == '-') ch = '_';
+      return s;
+    });
+
+// ---- Fallback and degenerate regimes ----
+
+TEST(Fallback, KCloseToNRunsDirect) {
+  auto v = data::generate(1024, Distribution::kUniform, 1);
+  std::span<const u32> vs(v.data(), v.size());
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 900, DrTopkConfig{}, &bd);
+  EXPECT_TRUE(bd.fallback_direct);
+  EXPECT_EQ(r.keys, reference_topk(vs, 900));
+}
+
+TEST(Fallback, KEqualsHalfNStillWorks) {
+  auto v = data::generate(4096, Distribution::kNormal, 2);
+  std::span<const u32> vs(v.data(), v.size());
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 2048, DrTopkConfig{});
+  EXPECT_EQ(r.keys, reference_topk(vs, 2048));
+}
+
+TEST(Degenerate, NonPowerOfTwoLengthWithShortTail) {
+  // Last subrange shorter than beta: exercises delegate padding.
+  const u64 n = (1 << 12) + 1;
+  auto v = data::generate(n, Distribution::kUniform, 3);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.alpha = 4;
+  cfg.beta = 4;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 55, cfg);
+  EXPECT_EQ(r.keys, reference_topk(vs, 55));
+}
+
+TEST(Degenerate, AllElementsEqual) {
+  std::vector<u32> v(1 << 14, 42u);
+  std::span<const u32> vs(v.data(), v.size());
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 100, DrTopkConfig{});
+  EXPECT_EQ(r.keys, std::vector<u32>(100, 42u));
+}
+
+TEST(Degenerate, TopElementsAllInOneSubrange) {
+  // Rule 1 stress: the entire top-k lives in a single subrange.
+  auto v = data::generate(1 << 14, Distribution::kUniform, 4);
+  for (u64 i = 0; i < 64; ++i) v[512 + i] = 0xFFFF0000u + static_cast<u32>(i);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.alpha = 6;
+  for (u32 beta : {1u, 2u}) {
+    cfg.beta = beta;
+    auto r = dr_topk_keys<u32>(shared_device(), vs, 64, cfg);
+    EXPECT_EQ(r.keys, reference_topk(vs, 64));
+  }
+}
+
+// ---- Stats invariants (the quantities Equations 2-5 count) ----
+
+TEST(StatsInvariants, ConstructionLoadsInputExactlyOnce) {
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 5);
+  std::span<const u32> vs(v.data(), v.size());
+  for (bool optimized : {false, true}) {
+    for (int alpha : {4, 8}) {
+      topk::Accum acc(shared_device());
+      ConstructOpts opts;
+      opts.optimized = optimized;
+      auto dv = build_delegate_vector<u32>(acc, vs, alpha, 1, opts);
+      EXPECT_EQ(acc.stats().global_load_elems, n)
+          << "alpha=" << alpha << " optimized=" << optimized;
+      // Equation 2: |V|/2^alpha delegates written (keys + sids).
+      EXPECT_EQ(acc.stats().global_store_elems, 2 * dv.num_subranges);
+    }
+  }
+}
+
+TEST(StatsInvariants, WarpPathUsesShufflesSharedPathDoesNot) {
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 5);
+  std::span<const u32> vs(v.data(), v.size());
+
+  topk::Accum warp_acc(shared_device());
+  ConstructOpts warp_opts;
+  warp_opts.optimized = false;
+  (void)build_delegate_vector<u32>(warp_acc, vs, 4, 1, warp_opts);
+  // One 31-shuffle reduction per subrange (Equation 2's comm term).
+  EXPECT_GE(warp_acc.stats().shfl_ops, 31 * (n >> 4));
+
+  topk::Accum sh_acc(shared_device());
+  ConstructOpts sh_opts;  // optimized: coalesced-to-shared, strided compute
+  (void)build_delegate_vector<u32>(sh_acc, vs, 4, 1, sh_opts);
+  EXPECT_EQ(sh_acc.stats().shfl_ops, 0u);
+  EXPECT_GT(sh_acc.stats().shared_loads, 0u);
+}
+
+TEST(StatsInvariants, SharedPaddingRemovesBankConflicts) {
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 6);
+  std::span<const u32> vs(v.data(), v.size());
+
+  topk::Accum padded(shared_device());
+  ConstructOpts o1;
+  (void)build_delegate_vector<u32>(padded, vs, 4, 2, o1);
+
+  topk::Accum unpadded(shared_device());
+  ConstructOpts o2;
+  o2.shared_padding = false;
+  (void)build_delegate_vector<u32>(unpadded, vs, 4, 2, o2);
+
+  // Section 5.3: "we use padding to avoid shared memory bank conflict".
+  EXPECT_LT(padded.stats().shared_bank_conflicts,
+            unpadded.stats().shared_bank_conflicts / 4);
+}
+
+TEST(StatsInvariants, BetaMultipliesDelegateVector) {
+  const u64 n = 1 << 14;
+  auto v = data::generate(n, Distribution::kUniform, 7);
+  std::span<const u32> vs(v.data(), v.size());
+  for (u32 beta : {1u, 2u, 4u}) {
+    topk::Accum acc(shared_device());
+    auto dv = build_delegate_vector<u32>(acc, vs, 6, beta);
+    EXPECT_EQ(dv.size(), (n >> 6) * beta);
+  }
+}
+
+TEST(StatsInvariants, FilteringShrinksConcatWorkload) {
+  const u64 n = 1 << 18;
+  const u64 k = 1 << 10;
+  auto v = data::generate(n, Distribution::kUniform, 8);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig with, without;
+  with.beta = without.beta = 1;
+  without.filtering = false;
+  StageBreakdown bw, bwo;
+  (void)dr_topk_keys<u32>(shared_device(), vs, k, with, &bw);
+  (void)dr_topk_keys<u32>(shared_device(), vs, k, without, &bwo);
+  // Figure 7 vs Figure 6: filtering cuts the second top-k's input hard.
+  EXPECT_LT(bw.concat_len, bwo.concat_len / 4);
+  EXPECT_LT(bw.second_ms, bwo.second_ms);
+}
+
+TEST(StatsInvariants, WorkloadRatioShrinksWithN) {
+  // Figure 20: (|D| + |concat|) / |V| drops as |V| grows, k fixed.
+  const u64 k = 1 << 8;
+  double prev_ratio = 2.0;
+  for (u64 logn : {14u, 16u, 18u}) {
+    const u64 n = u64{1} << logn;
+    auto v = data::generate(n, Distribution::kUniform, 9);
+    std::span<const u32> vs(v.data(), v.size());
+    StageBreakdown bd;
+    (void)dr_topk_keys<u32>(shared_device(), vs, k, DrTopkConfig{}, &bd);
+    const double ratio =
+        static_cast<double>(bd.delegate_len + bd.concat_len) /
+        static_cast<double>(n);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+// ---- Typed frontend ----
+
+TEST(TypedDrTopk, SmallestFloats) {
+  std::vector<f32> v;
+  for (int i = 0; i < 1 << 15; ++i)
+    v.push_back(static_cast<f32>(data::rand_unit(13, i) * 1e6));
+  std::span<const f32> vs(v.data(), v.size());
+  auto r = dr_topk<f32>(shared_device(), vs, 20, data::Criterion::kSmallest);
+  std::vector<f32> expect(v.begin(), v.end());
+  std::sort(expect.begin(), expect.end());
+  expect.resize(20);
+  EXPECT_EQ(r.values, expect);
+}
+
+TEST(TypedDrTopk, LargestU64) {
+  std::vector<u64> v(1 << 15);
+  for (u64 i = 0; i < v.size(); ++i) v[i] = data::rand_u64(14, i);
+  std::span<const u64> vs(v.data(), v.size());
+  auto r = dr_topk<u64>(shared_device(), vs, 50, data::Criterion::kLargest);
+  EXPECT_EQ(r.values, reference_topk(vs, 50));
+}
+
+}  // namespace
+}  // namespace drtopk::core

@@ -1,0 +1,239 @@
+// Property tests for the shared device kernels in topk/kernels.hpp —
+// the primitives every engine is built from: slice partitioning,
+// histograms under predicates, min/max, counting, compaction, unique-find,
+// threshold collection, and the parallel radix sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/distributions.hpp"
+#include "topk/kernels.hpp"
+#include "topk/sort.hpp"
+
+namespace drtopk::topk {
+namespace {
+
+vgpu::Device& shared_device() {
+  static vgpu::Device dev(vgpu::GpuProfile::v100s());
+  return dev;
+}
+
+// ---- Slice partitioning ----
+
+class SliceTest : public ::testing::TestWithParam<std::pair<u64, u32>> {};
+
+TEST_P(SliceTest, CoversEveryIndexExactlyOnce) {
+  const auto [n, warps] = GetParam();
+  std::vector<u32> hits(n, 0);
+  for (u32 w = 0; w < warps; ++w) {
+    const Slice s = warp_slice(n, w, warps);
+    for (u64 i = s.begin; i < s.begin + s.len; ++i) ++hits[i];
+  }
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](u32 h) { return h == 1; }));
+}
+
+TEST_P(SliceTest, NonEmptySlicesAreWarpAligned) {
+  const auto [n, warps] = GetParam();
+  for (u32 w = 0; w < warps; ++w) {
+    const Slice s = warp_slice(n, w, warps);
+    if (s.len == 0) continue;  // empty slices clamp to n
+    EXPECT_EQ(s.begin % vgpu::kWarpSize, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SliceTest,
+    ::testing::Values(std::pair<u64, u32>{1, 1}, std::pair<u64, u32>{31, 4},
+                      std::pair<u64, u32>{32, 4}, std::pair<u64, u32>{33, 4},
+                      std::pair<u64, u32>{1000, 7},
+                      std::pair<u64, u32>{4096, 64},
+                      std::pair<u64, u32>{100, 200}));
+
+// ---- Histogram ----
+
+TEST(Histogram, CountsEveryDigitOnce) {
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, data::Distribution::kUniform, 1);
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  std::array<u64, kRadixBuckets> hist;
+  histogram256(
+      acc, vs, [](u32) { return true; },
+      [](u32 x) { return x >> 24; }, hist);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), u64{0}), n);
+
+  std::array<u64, kRadixBuckets> expect{};
+  for (u32 x : v) ++expect[x >> 24];
+  EXPECT_EQ(hist, expect);
+}
+
+TEST(Histogram, RespectsAlivePredicate) {
+  const u64 n = 1 << 14;
+  auto v = data::generate(n, data::Distribution::kUniform, 2);
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  std::array<u64, kRadixBuckets> hist;
+  const u32 bound = 0x8000'0000u;
+  histogram256(
+      acc, vs, [bound](u32 x) { return x >= bound; },
+      [](u32 x) { return (x >> 16) & 0xFF; }, hist);
+  const u64 total = std::accumulate(hist.begin(), hist.end(), u64{0});
+  const u64 expect = static_cast<u64>(
+      std::count_if(v.begin(), v.end(), [&](u32 x) { return x >= bound; }));
+  EXPECT_EQ(total, expect);
+}
+
+TEST(Histogram, LoadsEveryElementExactlyOnce) {
+  const u64 n = 12'345;
+  auto v = data::generate(n, data::Distribution::kNormal, 3);
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  std::array<u64, kRadixBuckets> hist;
+  histogram256(
+      acc, vs, [](u32) { return true; }, [](u32 x) { return x & 0xFF; },
+      hist);
+  EXPECT_EQ(acc.stats().global_load_elems, n);
+}
+
+// ---- Min/max, count, find ----
+
+TEST(MinMax, MatchesStdMinmax) {
+  for (u64 n : {u64{1}, u64{37}, u64{1} << 12}) {
+    auto v = data::generate(n, data::Distribution::kUniform, n);
+    std::span<const u32> vs(v.data(), v.size());
+    Accum acc(shared_device());
+    auto [lo, hi] = device_minmax(acc, vs);
+    const auto [elo, ehi] = std::minmax_element(v.begin(), v.end());
+    EXPECT_EQ(lo, *elo);
+    EXPECT_EQ(hi, *ehi);
+  }
+}
+
+TEST(Count, MatchesStdCountIf) {
+  const u64 n = 50'000;
+  auto v = data::generate(n, data::Distribution::kCustomized, 4);
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  const u32 thr = 0xFFFFFF80u;
+  const u64 got = device_count(acc, vs, [thr](u32 x) { return x > thr; });
+  EXPECT_EQ(got, static_cast<u64>(std::count_if(
+                     v.begin(), v.end(), [&](u32 x) { return x > thr; })));
+}
+
+TEST(FindUnique, LocatesTheSingleMatch) {
+  std::vector<u32> v(1 << 12, 5u);
+  v[777] = 42u;
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  EXPECT_EQ(device_find_unique(acc, vs, [](u32 x) { return x == 42u; }), 42u);
+}
+
+// ---- Compaction ----
+
+TEST(Compact, KeepsExactlyTheMatchingMultiset) {
+  const u64 n = 1 << 15;
+  auto v = data::generate(n, data::Distribution::kNormal, 5);
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  vgpu::device_vector<u32> out(n);
+  const u32 thr = 100'000'005u;
+  const u64 cnt = device_compact(
+      acc, vs, [thr](u32 x) { return x > thr; },
+      std::span<u32>(out.data(), out.size()));
+
+  std::vector<u32> expect;
+  for (u32 x : v)
+    if (x > thr) expect.push_back(x);
+  std::vector<u32> got(out.begin(), out.begin() + static_cast<i64>(cnt));
+  std::sort(expect.begin(), expect.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Compact, AppendsAfterInitialCount) {
+  std::vector<u32> v = {1, 9, 2, 9, 3};
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  vgpu::device_vector<u32> out(10);
+  out[0] = 77;  // pre-existing element; compaction must append after it
+  const u64 cnt = device_compact(
+      acc, vs, [](u32 x) { return x == 9; },
+      std::span<u32>(out.data(), out.size()), /*initial_count=*/1);
+  EXPECT_EQ(cnt, 3u);
+  EXPECT_EQ(out[0], 77u);
+  EXPECT_EQ(out[1], 9u);
+  EXPECT_EQ(out[2], 9u);
+}
+
+TEST(Compact, UsesWarpAggregatedAtomics) {
+  // One atomic per warp-chunk with matches, not one per element.
+  const u64 n = 1 << 14;
+  std::vector<u32> v(n, 1u);  // everything matches
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  vgpu::device_vector<u32> out(n);
+  (void)device_compact(acc, vs, [](u32) { return true; },
+                       std::span<u32>(out.data(), out.size()));
+  EXPECT_LE(acc.stats().atomic_ops, n / vgpu::kWarpSize + 1);
+}
+
+// ---- collect_topk ----
+
+TEST(CollectTopk, PadsTiesToExactlyK) {
+  std::vector<u32> v(1000, 50u);
+  for (int i = 0; i < 10; ++i) v[static_cast<size_t>(i)] = 100u + static_cast<u32>(i);
+  std::span<const u32> vs(v.data(), v.size());
+  Accum acc(shared_device());
+  auto keys = collect_topk<u32>(acc, vs, /*kth=*/50u, /*k=*/25);
+  ASSERT_EQ(keys.size(), 25u);
+  EXPECT_EQ(keys.front(), 109u);
+  // 10 elements above the threshold, 15 padded copies of it.
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), 50u), 15);
+}
+
+// ---- Radix sort ----
+
+class RadixSortTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RadixSortTest, SortsAscendingForAllDistributions) {
+  for (auto d : {data::Distribution::kUniform, data::Distribution::kNormal,
+                 data::Distribution::kCustomized}) {
+    auto v = data::generate(GetParam(), d, GetParam());
+    std::vector<u32> expect(v.begin(), v.end());
+    std::sort(expect.begin(), expect.end());
+
+    Accum acc(shared_device());
+    device_radix_sort(acc, std::span<u32>(v.data(), v.size()));
+    EXPECT_TRUE(std::equal(v.begin(), v.end(), expect.begin()))
+        << data::to_string(d) << " n=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSortTest,
+                         ::testing::Values(2, 33, 1000, u64{1} << 14,
+                                           (u64{1} << 16) + 17));
+
+TEST(RadixSort, U64Keys) {
+  std::vector<u64> v(1 << 13);
+  for (u64 i = 0; i < v.size(); ++i) v[i] = data::rand_u64(6, i);
+  std::vector<u64> expect = v;
+  std::sort(expect.begin(), expect.end());
+  Accum acc(shared_device());
+  device_radix_sort(acc, std::span<u64>(v.data(), v.size()));
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixSort, ChargesScatterStores) {
+  const u64 n = 1 << 14;
+  auto v = data::generate(n, data::Distribution::kUniform, 7);
+  Accum acc(shared_device());
+  device_radix_sort(acc, std::span<u32>(v.data(), v.size()));
+  // 4 passes, each scattering n elements.
+  EXPECT_GE(acc.stats().global_store_elems, 4 * n);
+  EXPECT_GE(acc.stats().global_store_txns, 4 * n);  // uncoalesced
+}
+
+}  // namespace
+}  // namespace drtopk::topk
