@@ -20,6 +20,14 @@
 // stop its radix refinement one digit early (Section 4.3's skipped last
 // iteration), trading a slightly larger candidate set for a cheaper first
 // top-k.
+//
+// Entry points:
+//  * dr_topk_keys      — the full pipeline (stages 1-4);
+//  * dr_topk_from_delegates — stages 2-4 over a prebuilt delegate vector,
+//    the re-entrant seam the serving layer uses to share one construction
+//    pass across a batch of queries on the same data;
+//  * ExecPlan          — an externally supplied (alpha, beta, engines)
+//    tuple, e.g. from serve::PlanCache, that skips the alpha tuner.
 #pragma once
 
 #include <functional>
@@ -55,6 +63,43 @@ struct DrTopkConfig {
   std::function<u64(u64)> kappa_hook;
 };
 
+/// alpha sentinel: delegation was *determined* infeasible (k too close to
+/// n) — replaying it goes straight to the direct top-k without re-running
+/// the tuner. Distinct from -1, which means "not yet resolved: auto-tune".
+inline constexpr int kDirectAlpha = -2;
+
+/// A fully resolved execution plan: what the alpha tuner + engine selection
+/// would decide, captured so steady-state callers (serve::PlanCache) can
+/// skip tuning entirely and replay the decision.
+struct ExecPlan {
+  int alpha = -1;  ///< log2 subrange size; -1 = auto, kDirectAlpha = direct
+  u32 beta = 2;
+  topk::Algo first_algo = topk::Algo::kRadixFlag;
+  topk::Algo second_algo = topk::Algo::kRadixFlag;
+};
+
+/// Applies a plan's decisions onto a base configuration.
+inline DrTopkConfig apply_plan(DrTopkConfig cfg, const ExecPlan& p) {
+  cfg.alpha = p.alpha;
+  cfg.beta = p.beta;
+  cfg.first_algo = p.first_algo;
+  cfg.second_algo = p.second_algo;
+  return cfg;
+}
+
+/// Resolves the pipeline's subrange exponent for (n, k): an explicit
+/// cfg.alpha wins, otherwise Rule 4's closed form, then the feasibility
+/// clamp. Returns -1 when no feasible alpha exists (k too close to n).
+/// The single source of truth shared by dr_topk_keys, the serving layer's
+/// shared construction, and plan calibration.
+inline int resolve_alpha(u64 n, u64 k, u32 beta, const DrTopkConfig& cfg) {
+  if (cfg.alpha <= kDirectAlpha) return -1;  // calibrated: go direct, no tuner
+  const int alpha = cfg.alpha >= 0
+                        ? cfg.alpha
+                        : AlphaTuner{cfg.tuner_const}.rule4_alpha(n, k);
+  return clamp_alpha(n, k, beta, alpha);
+}
+
 /// Per-stage accounting: the quantities plotted in Figures 6/7/10/13/15
 /// (stage times) and Figures 20/21 (workload = vector sizes).
 struct StageBreakdown {
@@ -76,6 +121,23 @@ struct StageBreakdown {
   vgpu::KernelStats total_stats() const {
     return construct_stats + first_stats + concat_stats + second_stats;
   }
+
+  StageBreakdown& operator+=(const StageBreakdown& o) {
+    construct_ms += o.construct_ms;
+    first_ms += o.first_ms;
+    concat_ms += o.concat_ms;
+    second_ms += o.second_ms;
+    construct_stats += o.construct_stats;
+    first_stats += o.first_stats;
+    concat_stats += o.concat_stats;
+    second_stats += o.second_stats;
+    delegate_len += o.delegate_len;
+    concat_len += o.concat_len;
+    num_subranges += o.num_subranges;
+    qualified_subranges += o.qualified_subranges;
+    taken_delegates += o.taken_delegates;
+    return *this;
+  }
 };
 
 /// Launch geometry for one-warp-per-subrange classification kernels.
@@ -84,51 +146,34 @@ inline vgpu::Launch acc_launch_subranges(vgpu::Device& dev, u64 subranges) {
                                    "classify");
 }
 
-/// Dr. Top-k over directed keys. Returns the exact top-k multiset (sorted
-/// descending), total stats/simulated time, and optionally the breakdown.
+/// Stages 2-4 of the pipeline over a prebuilt delegate vector: first top-k
+/// on the delegates, Rule 2/3 classification + concatenation, second top-k.
+/// Re-entrant — safe to call concurrently on one Device — and the seam that
+/// lets a batch of queries over the same data share one construction pass.
+/// The returned result (and breakdown) covers stages 2-4 only; the caller
+/// owns the construction accounting.
 template <class K>
-topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
-                                 u64 k, const DrTopkConfig& cfg = {},
-                                 StageBreakdown* bd_out = nullptr) {
+topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
+                                           std::span<const K> v, u64 k,
+                                           const DelegateVector<K>& dv,
+                                           const DrTopkConfig& cfg = {},
+                                           StageBreakdown* bd_out = nullptr) {
   using topk::Accum;
   topk::WallTimer wall;
   const u64 n = v.size();
   assert(k >= 1 && k <= n);
+  assert(dv.size() >= k);  // the delegate vector must hold a top-k
   StageBreakdown bd;
-  bd.beta = std::clamp<u32>(cfg.beta, 1, kMaxBeta);
-
-  int alpha = cfg.alpha >= 0
-                  ? cfg.alpha
-                  : AlphaTuner{cfg.tuner_const}.rule4_alpha(n, k);
-  alpha = clamp_alpha(n, k, bd.beta, alpha);
-  bd.alpha = alpha;
-
-  topk::TopkResult<K> result;
-  if (alpha < 0) {
-    // Delegation infeasible (k within a factor of |V|): direct top-k.
-    bd.fallback_direct = true;
-    result = topk::run_topk_keys(dev, v, k, cfg.second_algo);
-    bd.second_ms = result.sim_ms;
-    bd.second_stats = result.stats;
-    bd.concat_len = n;
-    if (bd_out) *bd_out = bd;
-    result.wall_ms = wall.ms();
-    return result;
-  }
-
-  const u64 len = u64{1} << alpha;
-  const u32 beta = bd.beta;
-
-  // ---- Stage 1: delegate vector construction ----
-  Accum a1(dev);
-  DelegateVector<K> dv = build_delegate_vector(a1, v, alpha, beta,
-                                               cfg.construct);
-  bd.construct_ms = a1.sim_ms();
-  bd.construct_stats = a1.stats();
+  bd.alpha = dv.alpha;
+  bd.beta = dv.beta;
   bd.num_subranges = dv.num_subranges;
   bd.delegate_len = dv.size();
+  const u64 len = u64{1} << dv.alpha;
+  const u32 beta = dv.beta;
   std::span<const K> dkeys(dv.keys.data(), dv.keys.size());
   std::span<const u32> dsids(dv.sids.data(), dv.sids.size());
+
+  topk::TopkResult<K> result;
 
   // ---- Stage 2: first top-k -> threshold kappa ----
   // The Section 4.3 relaxation (skip the last radix digit) is incompatible
@@ -308,6 +353,55 @@ topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
   result.kth = result.keys.back();
   result.stats = bd.total_stats();
   result.sim_ms = bd.total_ms();
+  result.wall_ms = wall.ms();
+  if (bd_out) *bd_out = bd;
+  return result;
+}
+
+/// Dr. Top-k over directed keys. Returns the exact top-k multiset (sorted
+/// descending), total stats/simulated time, and optionally the breakdown.
+template <class K>
+topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
+                                 u64 k, const DrTopkConfig& cfg = {},
+                                 StageBreakdown* bd_out = nullptr) {
+  using topk::Accum;
+  topk::WallTimer wall;
+  const u64 n = v.size();
+  assert(k >= 1 && k <= n);
+  const u32 beta = std::clamp<u32>(cfg.beta, 1, kMaxBeta);
+  const int alpha = resolve_alpha(n, k, beta, cfg);
+
+  if (alpha < 0) {
+    // Delegation infeasible (k within a factor of |V|): direct top-k.
+    StageBreakdown bd;
+    bd.alpha = alpha;
+    bd.beta = beta;
+    bd.fallback_direct = true;
+    topk::TopkResult<K> result = topk::run_topk_keys(dev, v, k,
+                                                     cfg.second_algo);
+    bd.second_ms = result.sim_ms;
+    bd.second_stats = result.stats;
+    bd.concat_len = n;
+    // Selection-only keeps its contract on every path: just the k-th key.
+    if (cfg.selection_only) result.keys = {result.kth};
+    if (bd_out) *bd_out = bd;
+    result.wall_ms = wall.ms();
+    return result;
+  }
+
+  // ---- Stage 1: delegate vector construction ----
+  Accum a1(dev);
+  DelegateVector<K> dv = build_delegate_vector(a1, v, alpha, beta,
+                                               cfg.construct);
+
+  // ---- Stages 2-4 ----
+  StageBreakdown bd;
+  topk::TopkResult<K> result = dr_topk_from_delegates(dev, v, k, dv, cfg,
+                                                      &bd);
+  bd.construct_ms = a1.sim_ms();
+  bd.construct_stats = a1.stats();
+  result.stats += bd.construct_stats;
+  result.sim_ms += bd.construct_ms;
   result.wall_ms = wall.ms();
   if (bd_out) *bd_out = bd;
   return result;

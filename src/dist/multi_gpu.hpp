@@ -1,0 +1,181 @@
+// Distributed Dr. Top-k across multiple simulated GPUs — Section 5.4.
+//
+// The input vector is cut into shards no larger than one device's memory;
+// shards are assigned round-robin to GPUs (ranks of the message-passing
+// substrate). Each GPU runs the full Dr. Top-k pipeline per resident shard,
+// paying a PCIe reload for every shard beyond its first (Table 2's reload
+// column), merges its local winners, and the per-GPU top-ks are reduced at
+// the primary GPU:
+//
+//  * flat reduction — every rank gathers directly at rank 0 (#GPUs - 1
+//    messages at the primary);
+//  * hierarchical reduction — node leaders pre-merge their members' lists
+//    so the primary receives #nodes - 1 messages, the scheme Section 5.4
+//    anticipates "when Dr. Top-k scales to a large number of GPUs".
+//
+// The optional k-th exchange sharpens the gather: ranks allreduce-max their
+// local k-th elements and ship only candidates >= that global threshold.
+// Exactness: the global k-th element is >= the k-th of any rank (a superset
+// k-th dominates a subset k-th), so the threshold never filters a true
+// top-k member, and the rank attaining the max keeps all k of its elements,
+// so at least k candidates always reach the primary.
+#pragma once
+
+#include "core/dr_topk.hpp"
+#include "mpi/comm.hpp"
+
+namespace drtopk::dist {
+
+struct MultiGpuConfig {
+  u32 num_gpus = 1;
+  u64 device_capacity_elems = u64{1} << 21;  ///< per-GPU resident elements
+  u32 host_threads_per_gpu = 2;  ///< host threads backing each virtual GPU
+  vgpu::GpuProfile profile = vgpu::GpuProfile::v100s();
+  mpi::CommCostModel comm;       ///< inter-GPU fabric model
+  core::DrTopkConfig dr;         ///< per-shard pipeline configuration
+
+  /// Section 5.4's optional filter-sharpening step: exchange local k-th
+  /// elements (allreduce max) and gather only candidates >= the result.
+  bool kth_exchange = false;
+
+  /// Node-leader pre-merge before the primary reduction. A no-op while
+  /// num_gpus <= gpus_per_node (everything is one node).
+  bool hierarchical = false;
+  u32 gpus_per_node = 4;
+};
+
+struct MultiGpuResult {
+  std::vector<u32> keys;     ///< exact global top-k, sorted descending
+  u32 shards_total = 0;      ///< number of capacity-sized shards
+  u64 primary_messages = 0;  ///< messages received by rank 0 in the final
+                             ///< reduction (flat: #GPUs-1, hier: #leaders-1)
+  double compute_ms = 0.0;   ///< max over GPUs of summed pipeline time
+  double reload_ms = 0.0;    ///< max over GPUs of PCIe shard reload time
+  double comm_ms = 0.0;      ///< max over ranks of modeled message time
+  double final_topk_ms = 0.0;  ///< primary's final reduction kernel time
+  double total_ms = 0.0;
+};
+
+inline MultiGpuResult multi_gpu_topk(std::span<const u32> v, u64 k,
+                                     const MultiGpuConfig& cfg) {
+  const u64 n = v.size();
+  assert(k >= 1 && k <= n);
+  const u32 gpus = std::max(1u, cfg.num_gpus);
+  const u64 cap = std::max<u64>(1, cfg.device_capacity_elems);
+  const u32 shards =
+      static_cast<u32>(std::max<u64>(gpus, (n + cap - 1) / cap));
+  const u64 shard_len = (n + shards - 1) / shards;
+
+  MultiGpuResult res;
+  res.shards_total = shards;
+
+  const bool hier = cfg.hierarchical && cfg.gpus_per_node > 0 &&
+                    gpus > cfg.gpus_per_node;
+  constexpr int kLeaderTag = 2000;
+  constexpr int kPrimaryTag = 2001;
+
+  std::vector<double> compute(gpus, 0.0), reload(gpus, 0.0);
+
+  auto stats = mpi::run(
+      static_cast<int>(gpus),
+      [&](mpi::Comm& c) {
+        const u32 r = static_cast<u32>(c.rank());
+        vgpu::Device dev(cfg.profile, cfg.host_threads_per_gpu);
+        const vgpu::CostModel xfer(cfg.profile);
+
+        // ---- Local phase: pipeline per resident shard (round-robin) ----
+        std::vector<u32> local;
+        u32 shards_done = 0;
+        for (u32 s = r; s < shards; s += gpus) {
+          const u64 lo = static_cast<u64>(s) * shard_len;
+          if (lo >= n) break;
+          const u64 len = std::min(shard_len, n - lo);
+          const u64 kk = std::min<u64>(k, len);
+          auto sr = core::dr_topk_keys<u32>(dev, v.subspan(lo, len), kk,
+                                            cfg.dr);
+          compute[r] += sr.sim_ms;
+          // The first shard is resident; every further one is reloaded over
+          // PCIe (the paper's Table 2 reload overhead).
+          if (shards_done > 0)
+            reload[r] += xfer.transfer_ms(len * sizeof(u32));
+          ++shards_done;
+          local.insert(local.end(), sr.keys.begin(), sr.keys.end());
+        }
+        std::vector<u32> mine = topk::reference_topk(
+            std::span<const u32>(local.data(), local.size()),
+            std::min<u64>(k, local.size()));
+
+        // ---- Optional k-th exchange (Section 5.4 sharpening) ----
+        if (cfg.kth_exchange) {
+          // Ranks holding fewer than k elements cannot bound the global
+          // k-th; they contribute 0 (never raises the max above a bound).
+          const u64 local_kth =
+              mine.size() == k ? static_cast<u64>(mine.back()) : 0;
+          const u64 kappa = c.allreduce_max(local_kth);
+          std::erase_if(mine, [&](u32 x) {
+            return static_cast<u64>(x) < kappa;
+          });
+        }
+
+        // ---- Reduction to the primary ----
+        std::vector<u32> pool;
+        auto append = [&](const std::vector<u32>& xs) {
+          pool.insert(pool.end(), xs.begin(), xs.end());
+        };
+        if (!hier) {
+          auto all = c.gather<u32>(
+              std::span<const u32>(mine.data(), mine.size()), 0);
+          if (r == 0) {
+            for (auto& xs : all) append(xs);
+            res.primary_messages = gpus - 1;
+          }
+        } else {
+          const u32 gpn = cfg.gpus_per_node;
+          const u32 leader = (r / gpn) * gpn;
+          if (r != leader) {
+            c.send<u32>(static_cast<int>(leader), kLeaderTag,
+                        std::span<const u32>(mine.data(), mine.size()));
+          } else {
+            append(mine);
+            for (u32 m = leader + 1; m < std::min(leader + gpn, gpus); ++m)
+              append(c.recv<u32>(static_cast<int>(m), kLeaderTag));
+            auto merged = topk::reference_topk(
+                std::span<const u32>(pool.data(), pool.size()),
+                std::min<u64>(k, pool.size()));
+            if (r != 0) {
+              c.send<u32>(0, kPrimaryTag,
+                          std::span<const u32>(merged.data(), merged.size()));
+            } else {
+              pool = std::move(merged);
+              u64 msgs = 0;
+              for (u32 l = gpn; l < gpus; l += gpn, ++msgs)
+                append(c.recv<u32>(static_cast<int>(l), kPrimaryTag));
+              res.primary_messages = msgs;
+            }
+          }
+        }
+
+        // ---- Final top-k at the primary (a device kernel: the gathered
+        // candidate set is small but the reduction still runs on-GPU) ----
+        if (r == 0) {
+          auto fr = topk::run_topk_keys<u32>(
+              dev, std::span<const u32>(pool.data(), pool.size()), k,
+              topk::Algo::kRadixFlag);
+          res.final_topk_ms = fr.sim_ms;
+          res.keys = std::move(fr.keys);
+        }
+      },
+      cfg.comm);
+
+  for (u32 g = 0; g < gpus; ++g) {
+    res.compute_ms = std::max(res.compute_ms, compute[g]);
+    res.reload_ms = std::max(res.reload_ms, reload[g]);
+  }
+  for (const auto& s : stats)
+    res.comm_ms = std::max(res.comm_ms, s.modeled_ms);
+  res.total_ms =
+      res.compute_ms + res.reload_ms + res.comm_ms + res.final_topk_ms;
+  return res;
+}
+
+}  // namespace drtopk::dist

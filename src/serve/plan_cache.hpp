@@ -1,0 +1,234 @@
+// Execution-plan cache: (shape, distribution) -> tuned (alpha, engines).
+//
+// A serving workload re-sees the same query shapes over and over; paying
+// Rule-4 evaluation — let alone probing — per query is wasted work. The
+// cache key is (log2 |V|, log2 k, key width, criterion, distribution
+// fingerprint); the value is a core::ExecPlan resolved once by one-time
+// calibration:
+//
+//  * alpha — probe the Rule-4 closed form and its ±probe_radius neighbours
+//    on a prefix subsample with k scaled to preserve log2|V| - log2 k (the
+//    quantity Rule 4 depends on), keep the measured argmin. This recovers
+//    the oracle-vs-rule-4 gap of Figure 14 at a fraction of a query's cost.
+//  * second engine — seeded by topk::choose_engine's roofline ranking, then
+//    the contenders are probed and the measured winner kept.
+//
+// Steady-state queries hit the cache and skip tuning entirely; the probes'
+// simulated cost is charged to whichever executor resolves the miss, so
+// server throughput numbers honestly include cold-start calibration.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/dr_topk.hpp"
+
+namespace drtopk::serve {
+
+struct PlanKey {
+  u32 log2n = 0;      ///< bit_width(|V|)
+  u32 log2k = 0;      ///< bit_width(k)
+  u32 key_bits = 32;  ///< 32 or 64
+  u32 criterion = 0;
+  u32 fingerprint = 0;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    u64 h = k.log2n;
+    h = h * 131 + k.log2k;
+    h = h * 131 + k.key_bits;
+    h = h * 131 + k.criterion;
+    h = h * 131 + k.fingerprint;
+    return std::hash<u64>{}(h);
+  }
+};
+
+struct CachedPlan {
+  core::ExecPlan plan;
+  double probe_sim_ms = 0.0;  ///< one-time calibration cost paid on miss
+};
+
+/// Cheap distribution fingerprint: max bit width over a strided sample plus
+/// the number of distinct high bytes among the samples. Distinguishes the
+/// paper's regimes (uniform spreads ~30 distinct high bytes, the tie-heavy
+/// normal distribution collapses to 1) without reading the vector.
+template <class T>
+u32 data_fingerprint(std::span<const T> v) {
+  constexpr u32 kSamples = 32;
+  if (v.empty()) return 0;
+  const u64 stride = std::max<u64>(1, v.size() / kSamples);
+  u32 max_width = 0;
+  bool seen[256] = {};
+  u32 distinct = 0;
+  for (u64 i = 0; i < v.size(); i += stride) {
+    const u64 bits = static_cast<u64>(v[i]);
+    max_width = std::max<u32>(max_width, static_cast<u32>(std::bit_width(bits)));
+    const u8 hi = static_cast<u8>(bits >> (8 * sizeof(T) - 8));
+    if (!seen[hi]) {
+      seen[hi] = true;
+      ++distinct;
+    }
+  }
+  return max_width * 64 + distinct;
+}
+
+class PlanCache {
+ public:
+  struct Options {
+    int probe_radius = 1;        ///< probe alpha in [rule4 - r, rule4 + r]
+    u64 probe_sample = u64{1} << 15;  ///< calibration subsample length
+    bool probe_engines = true;   ///< also probe the second-stage engine
+  };
+
+  PlanCache() = default;
+  explicit PlanCache(Options opts) : opts_(opts) {}
+
+  /// Returns the cached plan for the query's shape, running the one-time
+  /// calibration on a miss. `hit_out` reports which path was taken. Misses
+  /// probe outside the lock, so two executors racing on a brand-new shape
+  /// may both calibrate; the insert is idempotent and the duplicated probe
+  /// cost is charged to whoever paid it.
+  template <class T>
+  CachedPlan resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
+                     data::Criterion criterion,
+                     const core::DrTopkConfig& base, bool* hit_out = nullptr);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const {
+    std::lock_guard lk(mu_);
+    return map_.size();
+  }
+
+  template <class T>
+  static PlanKey make_key(std::span<const T> v, u64 k,
+                          data::Criterion criterion) {
+    PlanKey key;
+    key.log2n = static_cast<u32>(std::bit_width(v.size()));
+    key.log2k = static_cast<u32>(std::bit_width(k));
+    key.key_bits = 8 * sizeof(T);
+    key.criterion = static_cast<u32>(criterion);
+    key.fingerprint = data_fingerprint(v);
+    return key;
+  }
+
+ private:
+  template <class T>
+  CachedPlan calibrate(vgpu::Device& dev, std::span<const T> v, u64 k,
+                       data::Criterion criterion,
+                       const core::DrTopkConfig& base) const;
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, CachedPlan, PlanKeyHash> map_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+};
+
+template <class T>
+CachedPlan PlanCache::resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
+                              data::Criterion criterion,
+                              const core::DrTopkConfig& base, bool* hit_out) {
+  const PlanKey key = make_key(v, k, criterion);
+  {
+    std::lock_guard lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (hit_out) *hit_out = true;
+      CachedPlan hit = it->second;
+      hit.probe_sim_ms = 0.0;  // already paid by the miss
+      return hit;
+    }
+  }
+  CachedPlan fresh = calibrate(dev, v, k, criterion, base);
+  {
+    std::lock_guard lk(mu_);
+    map_.emplace(key, fresh);  // idempotent under races
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (hit_out) *hit_out = false;
+  return fresh;
+}
+
+template <class T>
+CachedPlan PlanCache::calibrate(vgpu::Device& dev, std::span<const T> v,
+                                u64 k, data::Criterion criterion,
+                                const core::DrTopkConfig& base) const {
+  const u64 n = v.size();
+  CachedPlan out;
+  out.plan.beta = std::clamp<u32>(base.beta, 1, core::kMaxBeta);
+  out.plan.first_algo = base.first_algo;
+  out.plan.second_algo = base.second_algo;
+
+  // Probe on a prefix subsample with k scaled to preserve the ratio Rule 4
+  // depends on; the alpha ranking transfers to full size.
+  const u64 m = std::min(n, std::max<u64>(opts_.probe_sample, 64));
+  const u64 kp = std::clamp<u64>(
+      static_cast<u64>(static_cast<double>(k) * static_cast<double>(m) /
+                       static_cast<double>(n)),
+      1, std::max<u64>(1, m / 4));
+  std::span<const T> sample = v.subspan(0, m);
+
+  // Probes are purely local measurements: never fire a configured
+  // kappa_hook (a collective whose once-per-invocation contract a variable
+  // number of probes would break) and measure the full pipeline, not the
+  // selection-only shortcut.
+  core::DrTopkConfig probe_base = base;
+  probe_base.kappa_hook = nullptr;
+  probe_base.selection_only = false;
+
+  // An explicitly pinned base.alpha wins (resolve_alpha's contract): no
+  // alpha search, only a baseline probe at the pinned value so the engine
+  // comparison below still has a measurement to beat.
+  const bool pinned = base.alpha >= 0;
+  const int a0 = pinned
+                     ? base.alpha
+                     : core::AlphaTuner{base.tuner_const}.rule4_alpha(n, k);
+  const int radius = pinned ? 0 : opts_.probe_radius;
+  int best_alpha = core::resolve_alpha(n, k, out.plan.beta, base);
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (int a = a0 - radius; a <= a0 + radius; ++a) {
+    // A candidate alpha must be feasible at probe scale *and* full scale.
+    if (core::clamp_alpha(m, kp, out.plan.beta, a) != a) continue;
+    if (core::clamp_alpha(n, k, out.plan.beta, a) != a) continue;
+    core::DrTopkConfig cfg = probe_base;
+    cfg.alpha = a;
+    auto r = core::dr_topk<T>(dev, sample, kp, criterion, cfg);
+    out.probe_sim_ms += r.sim_ms;
+    if (r.sim_ms < best_ms) {
+      best_ms = r.sim_ms;
+      best_alpha = a;
+    }
+  }
+  // Infeasible delegation is cached as the explicit direct sentinel so a
+  // replay goes straight to the direct top-k instead of re-tuning.
+  out.plan.alpha = best_alpha < 0 ? core::kDirectAlpha : best_alpha;
+
+  // Engine probe: only meaningful against a *measured* baseline. If every
+  // alpha probe was infeasible at the subsample scale, there is nothing to
+  // compare the suggested engine to — keep the base engine rather than
+  // adopting an unmeasured suggestion.
+  if (opts_.probe_engines && best_alpha >= 0 &&
+      best_ms < std::numeric_limits<double>::infinity()) {
+    const topk::Algo suggested =
+        topk::choose_engine(dev.profile(), n, k, sizeof(T));
+    if (suggested != out.plan.second_algo) {
+      core::DrTopkConfig cfg = probe_base;
+      cfg.alpha = best_alpha;
+      cfg.second_algo = suggested;
+      auto r = core::dr_topk<T>(dev, sample, kp, criterion, cfg);
+      out.probe_sim_ms += r.sim_ms;
+      if (r.sim_ms < best_ms) out.plan.second_algo = suggested;
+    }
+  }
+  return out;
+}
+
+}  // namespace drtopk::serve

@@ -1,0 +1,113 @@
+// Typed query/result objects for the top-k serving engine.
+//
+// A Query either *views* server-resident data (the common serving shape:
+// many queries against one corpus — these are what admission batching can
+// fuse into a single delegate-construction pass) or *owns* its payload
+// (ad-hoc data shipped with the request). Key widths u32/u64 are supported;
+// the criterion and selection-only flag mirror DrTopkConfig's semantics.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/dr_topk.hpp"
+#include "data/key_traits.hpp"
+
+namespace drtopk::serve {
+
+enum class KeyWidth : u8 { k32, k64 };
+
+struct Query {
+  u64 k = 1;
+  data::Criterion criterion = data::Criterion::kLargest;
+  bool selection_only = false;  ///< k-selection: only the k-th value needed
+
+  // Exactly one payload is set (enforced by the factories below). Owned
+  // buffers sit behind shared_ptr so Query stays cheaply copyable.
+  std::span<const u32> view32;
+  std::span<const u64> view64;
+  std::shared_ptr<const std::vector<u32>> own32;
+  std::shared_ptr<const std::vector<u64>> own64;
+
+  static Query view(std::span<const u32> v, u64 k,
+                    data::Criterion c = data::Criterion::kLargest,
+                    bool selection_only = false) {
+    Query q;
+    q.view32 = v;
+    q.k = k;
+    q.criterion = c;
+    q.selection_only = selection_only;
+    return q;
+  }
+  static Query view(std::span<const u64> v, u64 k,
+                    data::Criterion c = data::Criterion::kLargest,
+                    bool selection_only = false) {
+    Query q;
+    q.view64 = v;
+    q.k = k;
+    q.criterion = c;
+    q.selection_only = selection_only;
+    return q;
+  }
+  static Query owned(std::vector<u32> v, u64 k,
+                     data::Criterion c = data::Criterion::kLargest,
+                     bool selection_only = false) {
+    Query q;
+    q.own32 = std::make_shared<const std::vector<u32>>(std::move(v));
+    q.k = k;
+    q.criterion = c;
+    q.selection_only = selection_only;
+    return q;
+  }
+  static Query owned(std::vector<u64> v, u64 k,
+                     data::Criterion c = data::Criterion::kLargest,
+                     bool selection_only = false) {
+    Query q;
+    q.own64 = std::make_shared<const std::vector<u64>>(std::move(v));
+    q.k = k;
+    q.criterion = c;
+    q.selection_only = selection_only;
+    return q;
+  }
+
+  KeyWidth width() const {
+    return (own64 || !view64.empty()) ? KeyWidth::k64 : KeyWidth::k32;
+  }
+  std::span<const u32> data32() const {
+    return own32 ? std::span<const u32>(own32->data(), own32->size())
+                 : view32;
+  }
+  std::span<const u64> data64() const {
+    return own64 ? std::span<const u64>(own64->data(), own64->size())
+                 : view64;
+  }
+  u64 n() const {
+    return width() == KeyWidth::k64 ? data64().size() : data32().size();
+  }
+  /// Identity of the underlying buffer — the admission scheduler fuses
+  /// queries whose data_id/n/width/criterion all match into one group that
+  /// shares a single delegate-construction pass.
+  const void* data_id() const {
+    return width() == KeyWidth::k64
+               ? static_cast<const void*>(data64().data())
+               : static_cast<const void*>(data32().data());
+  }
+};
+
+struct QueryResult {
+  u64 id = 0;                ///< server-assigned, monotonically increasing
+  std::vector<u64> values;   ///< top-k, best-first, widened to u64
+                             ///< (selection-only: just the k-th value)
+  u64 kth = 0;               ///< the k-selection answer
+  double latency_sim_ms = 0; ///< modeled GPU latency of this query: its
+                             ///< stages 2-4 plus an amortized share of the
+                             ///< group's shared construction pass
+  double wall_ms = 0;        ///< host wall-clock from admission to finish
+  core::StageBreakdown breakdown;
+  bool plan_cache_hit = false;
+  bool fused = false;        ///< delegate construction was shared with
+                             ///< other queries of its admission group
+};
+
+}  // namespace drtopk::serve

@@ -1,0 +1,260 @@
+// Admission scheduling for the top-k server.
+//
+// Submitted queries are admitted into *groups*: a query joins the youngest
+// queued group whose compatibility signature (data identity, length,
+// key width, criterion) matches, up to batch_max queries; otherwise it
+// opens a new group. Groups queue FIFO. Executors claim work with
+// group-granular setup (one executor resolves the plan and builds the
+// shared delegate vector) followed by query-granular stealing: once a
+// group's setup is published, *any* executor can claim its next unclaimed
+// query via the group's cursor, so a large batch is drained cooperatively
+// rather than pinned to one executor.
+//
+// A group stays open for admission for as long as it is queued — in
+// particular *while its setup is running*, which is exactly the expensive
+// window worth amortizing: a client streaming compatible queries one at a
+// time joins the group whose construction is already in flight and rides
+// the shared delegate vector for free (items live in a deque, so references
+// handed to executors stay valid across late admissions; a late query
+// whose k exceeds the built delegate capacity simply falls back to the
+// unfused path). The setup itself covers the items present at claim time
+// (kmax snapshot); every deque traversal happens under the queue mutex.
+//
+// The queue bounds in-flight queries: submit() blocks while the bound is
+// reached — backpressure toward the client instead of unbounded memory.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "serve/query.hpp"
+
+namespace drtopk::serve {
+
+struct Pending {
+  u64 id = 0;
+  Query query;
+  std::promise<QueryResult> promise;
+  topk::WallTimer admitted;  ///< wall-clock from admission to completion
+};
+
+/// One admission group: compatible queries plus the shared execution state
+/// the setup phase publishes (plan + optional shared delegate vector).
+struct Group {
+  // Compatibility signature.
+  const void* data_id = nullptr;
+  u64 n = 0;
+  KeyWidth width = KeyWidth::k32;
+  data::Criterion criterion = data::Criterion::kLargest;
+
+  // Deque: stable element references under late admission (push_back).
+  std::deque<Pending> items;
+
+  // Scheduling state, guarded by the owning queue's mutex.
+  bool setup_claimed = false;  ///< one executor is resolving plan/delegates
+  bool runnable = false;       ///< setup published; items may be claimed
+  u64 next = 0;                ///< stealing cursor: next unclaimed item
+  u64 setup_items = 0;         ///< items present when setup was claimed
+  u64 setup_kmax = 1;          ///< max k over those items
+  std::vector<u64> setup_ks;   ///< their k values (delegate sizing decides
+                               ///< the largest *feasible* k to build for)
+  Query setup_query;           ///< snapshot for the setup's data access
+
+  // Execution state, written single-threaded during setup, read-only after
+  // `runnable` is published.
+  core::ExecPlan plan;
+  bool plan_resolved = false;  ///< plan lookup/calibration completed
+  bool plan_hit = false;
+  bool has_delegates = false;  ///< shared construction succeeded
+  core::DelegateVector<u32> dv32;
+  core::DelegateVector<u64> dv64;
+  vgpu::device_vector<u32> keys32;  ///< directed keys (non-identity criteria)
+  vgpu::device_vector<u64> keys64;
+  bool keys_materialized = false;
+  double setup_sim_ms = 0.0;  ///< construction + key conversion, shared by
+                              ///< the whole group (amortized into latency)
+  core::StageBreakdown setup_stages;
+
+  bool compatible(const Query& q) const {
+    return q.data_id() == data_id && q.n() == n && q.width() == width &&
+           q.criterion == criterion;
+  }
+};
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(u32 batch_max, u32 max_in_flight)
+      : batch_max_(std::max(1u, batch_max)),
+        max_in_flight_(std::max(1u, max_in_flight)) {}
+
+  /// Admits one query (blocking while the in-flight bound is reached) and
+  /// returns its result future.
+  std::future<QueryResult> submit(Query q) {
+    std::unique_lock lk(mu_);
+    space_cv_.wait(lk, [&] { return in_flight_ < max_in_flight_ || stop_; });
+    if (stop_) throw std::runtime_error("AdmissionQueue stopped");
+    auto fut = admit_locked(std::move(q));
+    lk.unlock();
+    work_cv_.notify_one();
+    return fut;
+  }
+
+  /// Admits a whole batch. Queries that fit under the in-flight bound are
+  /// admitted atomically (one critical section), so compatible queries are
+  /// guaranteed to land in shared admission groups before any executor can
+  /// claim them — the deterministic route to batched construction. Blocks
+  /// for space between chunks when the batch exceeds the bound.
+  std::vector<std::future<QueryResult>> submit_many(std::vector<Query> qs) {
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(qs.size());
+    size_t i = 0;
+    while (i < qs.size()) {
+      {
+        std::unique_lock lk(mu_);
+        space_cv_.wait(lk,
+                       [&] { return in_flight_ < max_in_flight_ || stop_; });
+        if (stop_) throw std::runtime_error("AdmissionQueue stopped");
+        while (i < qs.size() && in_flight_ < max_in_flight_)
+          futures.push_back(admit_locked(std::move(qs[i++])));
+      }
+      work_cv_.notify_all();
+    }
+    return futures;
+  }
+
+  struct Claim {
+    std::shared_ptr<Group> group;
+    Pending* item = nullptr;  ///< valid when !needs_setup
+    /// How many queries split the group's shared setup cost: the setup-time
+    /// snapshot for items it covered, 0 for late joiners (their marginal
+    /// construction cost is zero — the pass was already paid for). Shares
+    /// across a group thus sum to exactly the cost paid once.
+    u64 amortize_over = 0;
+    bool needs_setup = false;
+  };
+
+  /// Blocks for the next unit of work: either a group needing setup or an
+  /// unclaimed query of a runnable group (stealing across groups in FIFO
+  /// order). Returns false when stopped and fully drained of claimables.
+  bool next(Claim& out) {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        Group& g = **it;
+        if (!g.setup_claimed) {
+          g.setup_claimed = true;
+          g.setup_items = g.items.size();
+          for (const Pending& p : g.items) {
+            g.setup_kmax = std::max(g.setup_kmax, p.query.k);
+            g.setup_ks.push_back(p.query.k);
+          }
+          g.setup_query = g.items.front().query;
+          out.group = *it;
+          out.needs_setup = true;
+          return true;
+        }
+        if (g.runnable && g.next < g.items.size()) {
+          out.group = *it;
+          const u64 index = g.next++;
+          out.item = &g.items[index];
+          out.amortize_over = index < g.setup_items ? g.setup_items : 0;
+          out.needs_setup = false;
+          // Fully claimed: leave the queue (which also ends admission).
+          if (g.next == g.items.size()) queue_.erase(it);
+          return true;
+        }
+      }
+      if (stop_) return false;
+      work_cv_.wait(lk);
+    }
+  }
+
+  /// Publishes a group's setup; its items become claimable by any executor.
+  void publish(const std::shared_ptr<Group>& g) {
+    {
+      std::lock_guard lk(mu_);
+      g->runnable = true;
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Marks one item finished; releases backpressure and drain waiters.
+  void finish_item(const std::shared_ptr<Group>&) {
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+    }
+    space_cv_.notify_one();
+    idle_cv_.notify_all();
+  }
+
+  /// Blocks until every admitted query has completed.
+  void drain() {
+    std::unique_lock lk(mu_);
+    idle_cv_.wait(lk, [&] { return in_flight_ == 0; });
+  }
+
+  void stop() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  u64 in_flight() const {
+    std::lock_guard lk(mu_);
+    return in_flight_;
+  }
+
+ private:
+  /// Admission core (mu_ held): join the open tail group or start a new one.
+  std::future<QueryResult> admit_locked(Query q) {
+    ++in_flight_;
+    Pending p;
+    p.id = next_id_++;
+    p.query = std::move(q);
+    auto fut = p.promise.get_future();
+
+    // Youngest-first scan over the queued (hence still-open) groups, so
+    // interleaved streams — e.g. round-robin over several corpora — still
+    // coalesce per corpus instead of opening a singleton group each time.
+    Group* host = nullptr;
+    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+      if ((*it)->items.size() < batch_max_ && (*it)->compatible(p.query)) {
+        host = it->get();
+        break;
+      }
+    }
+    if (host) {
+      host->items.push_back(std::move(p));
+    } else {
+      auto g = std::make_shared<Group>();
+      g->data_id = p.query.data_id();
+      g->n = p.query.n();
+      g->width = p.query.width();
+      g->criterion = p.query.criterion;
+      g->items.push_back(std::move(p));
+      queue_.push_back(std::move(g));
+    }
+    return fut;
+  }
+
+  const u32 batch_max_;
+  const u32 max_in_flight_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // executors: new claimable work
+  std::condition_variable space_cv_;  // submitters: in-flight bound freed
+  std::condition_variable idle_cv_;   // drain(): a query completed
+  std::deque<std::shared_ptr<Group>> queue_;
+  u64 in_flight_ = 0;
+  u64 next_id_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace drtopk::serve

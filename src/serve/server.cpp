@@ -1,0 +1,279 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+
+namespace drtopk::serve {
+
+namespace {
+
+template <class T>
+std::span<const T> query_data(const Query& q);
+template <>
+std::span<const u32> query_data<u32>(const Query& q) {
+  return q.data32();
+}
+template <>
+std::span<const u64> query_data<u64>(const Query& q) {
+  return q.data64();
+}
+
+template <class T>
+core::DelegateVector<T>& group_dv(Group& g);
+template <>
+core::DelegateVector<u32>& group_dv<u32>(Group& g) {
+  return g.dv32;
+}
+template <>
+core::DelegateVector<u64>& group_dv<u64>(Group& g) {
+  return g.dv64;
+}
+
+template <class T>
+vgpu::device_vector<T>& group_keys(Group& g);
+template <>
+vgpu::device_vector<u32>& group_keys<u32>(Group& g) {
+  return g.keys32;
+}
+template <>
+vgpu::device_vector<u64>& group_keys<u64>(Group& g) {
+  return g.keys64;
+}
+
+}  // namespace
+
+TopkServer::TopkServer(vgpu::Device& dev, ServerConfig cfg)
+    : dev_(dev),
+      cfg_(cfg),
+      plans_(cfg.plan),
+      queue_(cfg.batch_max, cfg.max_in_flight),
+      collector_(std::max(1u, cfg.executors)) {
+  const u32 n = std::max(1u, cfg_.executors);
+  executors_.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    executors_.emplace_back([this, i] { executor_loop(i); });
+  }
+}
+
+TopkServer::~TopkServer() {
+  queue_.drain();
+  queue_.stop();
+  for (auto& t : executors_) t.join();
+}
+
+namespace {
+
+void validate(const Query& q) {
+  const u64 n = q.n();
+  if (n == 0 || q.k < 1 || q.k > n)
+    throw std::invalid_argument("TopkServer: query requires 1 <= k <= |V|");
+}
+
+}  // namespace
+
+std::future<QueryResult> TopkServer::submit(Query q) {
+  validate(q);
+  return queue_.submit(std::move(q));
+}
+
+std::vector<QueryResult> TopkServer::run_batch(std::vector<Query> queries) {
+  for (const auto& q : queries) validate(q);
+  auto futures = queue_.submit_many(std::move(queries));
+  std::vector<QueryResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void TopkServer::drain() { queue_.drain(); }
+
+ServerStats TopkServer::stats() const {
+  ServerStats s = collector_.snapshot();
+  s.plan_hits = plans_.hits();
+  s.plan_misses = plans_.misses();
+  return s;
+}
+
+void TopkServer::executor_loop(u32 executor_id) {
+  AdmissionQueue::Claim c;
+  while (queue_.next(c)) {
+    if (c.needs_setup) {
+      setup_group(*c.group, executor_id);
+      queue_.publish(c.group);
+    } else {
+      execute_item(*c.group, *c.item, c.amortize_over, executor_id);
+      queue_.finish_item(c.group);
+    }
+    c.group.reset();
+  }
+}
+
+void TopkServer::setup_group(Group& g, u32 executor_id) {
+  try {
+    if (g.width == KeyWidth::k64) {
+      setup_group_typed<u64>(g, executor_id);
+    } else {
+      setup_group_typed<u32>(g, executor_id);
+    }
+  } catch (...) {
+    // Setup is an optimization; a failure (e.g. a probe hitting an engine
+    // edge case) degrades the group to unfused per-query execution rather
+    // than failing its queries.
+    g.has_delegates = false;
+  }
+  collector_.record_group(g.setup_stages);
+}
+
+template <class T>
+void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
+  using Key = typename data::KeyTraits<T>::Key;
+  // Setup works from the snapshot the queue took at claim time (the group
+  // may still be admitting; the deque itself is only traversed under the
+  // queue's mutex). Late joiners whose k exceeds this kmax fall back to the
+  // unfused path per item.
+  const std::span<const T> values = query_data<T>(g.setup_query);
+
+  // Size the shared delegate vector for the largest *feasible* k among the
+  // snapshot's queries: one near-n outlier must not disable fusion for the
+  // whole group — it simply runs unfused (the dv.size() >= k guard), while
+  // the feasible majority still shares one construction pass.
+  const u32 beta_base = std::clamp<u32>(cfg_.base.beta, 1, core::kMaxBeta);
+  u64 kmax = 0;
+  for (const u64 k : g.setup_ks)
+    if (core::resolve_alpha(g.n, k, beta_base, cfg_.base) >= 0)
+      kmax = std::max(kmax, k);
+  if (kmax == 0) kmax = g.setup_kmax;  // none feasible: plan caches direct
+
+  double executor_work = 0.0;
+
+  // Plan: cache hit replays the calibrated decision; miss pays the probes.
+  if (cfg_.use_plan_cache) {
+    bool hit = false;
+    CachedPlan cp = plans_.resolve<T>(dev_, values, kmax, g.criterion,
+                                      cfg_.base, &hit);
+    g.plan = cp.plan;
+    g.plan_hit = hit;
+    g.plan_resolved = true;
+    executor_work += cp.probe_sim_ms;
+  } else {
+    g.plan.alpha = cfg_.base.alpha;
+    g.plan.beta = cfg_.base.beta;
+    g.plan.first_algo = cfg_.base.first_algo;
+    g.plan.second_algo = cfg_.base.second_algo;
+  }
+
+  // Shared construction: one delegate vector serves every query of the
+  // group. Sized for the largest k so dv.size() >= k holds for all items.
+  const u32 beta = std::clamp<u32>(g.plan.beta, 1, core::kMaxBeta);
+  core::DrTopkConfig planned = cfg_.base;
+  planned.alpha = g.plan.alpha;
+  const int alpha = core::resolve_alpha(g.n, kmax, beta, planned);
+  if (alpha >= 0) {
+    topk::Accum acc(dev_);
+    std::span<const Key> keyspan;
+    if (topk::key_is_identity<T>(g.criterion)) {
+      keyspan = values;  // Key == T for u32/u64
+    } else {
+      group_keys<Key>(g) = topk::make_directed_keys(acc, values, g.criterion);
+      g.keys_materialized = true;
+      keyspan = std::span<const Key>(group_keys<Key>(g).data(),
+                                     group_keys<Key>(g).size());
+    }
+    group_dv<Key>(g) =
+        core::build_delegate_vector<Key>(acc, keyspan, alpha, beta,
+                                         cfg_.base.construct);
+    g.has_delegates = true;
+    g.plan.alpha = alpha;
+    g.plan.beta = beta;
+    g.setup_sim_ms = acc.sim_ms();
+    g.setup_stages.construct_ms = acc.sim_ms();
+    g.setup_stages.construct_stats = acc.stats();
+    executor_work += acc.sim_ms();
+  }
+  collector_.record_executor_work(executor_id, executor_work);
+}
+
+void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
+                              u32 executor_id) {
+  try {
+    QueryResult r = g.width == KeyWidth::k64
+                        ? run_item_typed<u64>(g, p, amortize_over)
+                        : run_item_typed<u32>(g, p, amortize_over);
+    collector_.record_query(r.latency_sim_ms, r.breakdown, r.fused);
+    // Work actually performed here: a fused item's breakdown holds only its
+    // stages 2-4 (the group's construction was charged at setup); an
+    // unfused item's latency is exactly its own full pipeline.
+    collector_.record_executor_work(
+        executor_id, r.fused ? r.breakdown.total_ms() : r.latency_sim_ms);
+    p.promise.set_value(std::move(r));
+  } catch (...) {
+    collector_.record_failure();
+    p.promise.set_exception(std::current_exception());
+  }
+}
+
+template <class T>
+QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over) {
+  using Key = typename data::KeyTraits<T>::Key;
+  const Query& q = p.query;
+  QueryResult out;
+  out.id = p.id;
+  out.plan_cache_hit = g.plan_resolved && g.plan_hit;
+
+  // A resolved plan accelerates both paths: fused execution replays its
+  // alpha/beta via the shared delegate vector, and the unfused fallback
+  // still reuses the calibrated engines/alpha (dr_topk re-clamps per k).
+  core::DrTopkConfig cfg = cfg_.base;
+  if (g.plan_resolved || g.has_delegates) {
+    cfg = core::apply_plan(cfg, g.plan);
+    // The direct sentinel encodes infeasibility at the *group's* planning
+    // k; an individual item re-resolves for its own k (closed form only —
+    // a small k sharing a group with a near-n outlier still delegates).
+    if (cfg.alpha == core::kDirectAlpha) cfg.alpha = cfg_.base.alpha;
+  }
+  cfg.selection_only = q.selection_only;
+
+  core::StageBreakdown bd;
+  if (g.has_delegates && group_dv<Key>(g).size() >= q.k) {
+    const std::span<const T> values = query_data<T>(q);
+    std::span<const Key> keyspan =
+        g.keys_materialized
+            ? std::span<const Key>(group_keys<Key>(g).data(),
+                                   group_keys<Key>(g).size())
+            : std::span<const Key>(values);
+    auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
+                                               group_dv<Key>(g), cfg, &bd);
+    // "Fused" means construction was genuinely shared: either the setup
+    // covered several queries, or this is a late joiner riding a pass that
+    // others paid for. A singleton group paid full freight — not fused.
+    out.fused = g.setup_items > 1 || amortize_over == 0;
+    out.values.reserve(r.keys.size());
+    for (const Key key : r.keys)
+      out.values.push_back(static_cast<u64>(
+          data::value_from_directed_key<T>(key, q.criterion)));
+    out.kth = static_cast<u64>(
+        data::value_from_directed_key<T>(r.kth, q.criterion));
+    // Latency: this query's stages plus its share of the group's single
+    // construction pass. Late joiners (amortize_over == 0) ride a pass that
+    // was already paid for, so the shares across a group sum to exactly the
+    // construction cost charged once at setup.
+    out.latency_sim_ms = r.sim_ms;
+    if (amortize_over > 0)
+      out.latency_sim_ms +=
+          g.setup_sim_ms / static_cast<double>(amortize_over);
+  } else {
+    // Unfused fallback: delegation infeasible for this shape (or setup
+    // degraded); the full single-query pipeline, still plan-accelerated
+    // when a plan resolved.
+    auto r = core::dr_topk<T>(dev_, query_data<T>(q), q.k, q.criterion, cfg,
+                              &bd);
+    out.values.reserve(r.values.size());
+    for (const T v : r.values) out.values.push_back(static_cast<u64>(v));
+    out.kth = static_cast<u64>(r.kth);
+    out.latency_sim_ms = r.sim_ms;
+  }
+  out.breakdown = bd;
+  out.wall_ms = p.admitted.ms();
+  return out;
+}
+
+}  // namespace drtopk::serve

@@ -1,0 +1,86 @@
+// TopkServer: batched multi-query top-k serving on one virtual GPU.
+//
+//   vgpu::Device dev;
+//   serve::TopkServer server(dev);
+//   auto f1 = server.submit(serve::Query::view(corpus, 100));
+//   auto f2 = server.submit(serve::Query::view(corpus, 10, Criterion::kLargest,
+//                                              /*selection_only=*/true));
+//   auto r = f1.get();   // exact top-k, same bits as core::dr_topk
+//
+// Architecture (the seam every scaling PR plugs into):
+//
+//   submit() -> AdmissionQueue (bounded, backpressure)
+//            -> admission groups (compatible queries batch together)
+//            -> executor threads claim work: one resolves the group's plan
+//               via the PlanCache (calibrated alpha/engines, skipping the
+//               tuner on hits) and builds ONE shared delegate vector for
+//               the whole group; then all executors cooperatively drain the
+//               group's queries through core::dr_topk_from_delegates on the
+//               shared Device (whose thread pool multiplexes the kernels).
+//
+// Batching wins because delegate construction — the dominant stage of the
+// pipeline (Figure 15) — is paid once per group instead of once per query;
+// the plan cache wins by replaying calibrated decisions for recurring
+// query shapes.
+#pragma once
+
+#include <thread>
+
+#include "serve/plan_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/stats.hpp"
+
+namespace drtopk::serve {
+
+struct ServerConfig {
+  u32 executors = 2;       ///< concurrent query executors
+  u32 batch_max = 16;      ///< max queries per admission group
+  u32 max_in_flight = 64;  ///< submit() blocks beyond this (backpressure)
+  core::DrTopkConfig base; ///< baseline pipeline configuration
+  bool use_plan_cache = true;
+  PlanCache::Options plan;
+};
+
+class TopkServer {
+ public:
+  explicit TopkServer(vgpu::Device& dev, ServerConfig cfg = {});
+  ~TopkServer();
+
+  TopkServer(const TopkServer&) = delete;
+  TopkServer& operator=(const TopkServer&) = delete;
+
+  /// Admits a query; blocks while max_in_flight queries are pending.
+  std::future<QueryResult> submit(Query q);
+
+  /// Convenience: submit a whole batch and wait for every result, returned
+  /// in submission order.
+  std::vector<QueryResult> run_batch(std::vector<Query> queries);
+
+  /// Blocks until every admitted query has completed.
+  void drain();
+
+  /// Aggregate metrics (plan counters merged from the cache).
+  ServerStats stats() const;
+
+  const PlanCache& plan_cache() const { return plans_; }
+  vgpu::Device& device() { return dev_; }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  void executor_loop(u32 executor_id);
+  void setup_group(Group& g, u32 executor_id);
+  void execute_item(Group& g, Pending& p, u64 amortize_over, u32 executor_id);
+  template <class T>
+  void setup_group_typed(Group& g, u32 executor_id);
+  template <class T>
+  QueryResult run_item_typed(Group& g, Pending& p, u64 amortize_over);
+
+  vgpu::Device& dev_;
+  ServerConfig cfg_;
+  PlanCache plans_;
+  AdmissionQueue queue_;
+  StatsCollector collector_;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace drtopk::serve

@@ -1,0 +1,141 @@
+// Aggregate serving metrics, in simulated-GPU-time terms.
+//
+// Latencies are the cost-model milliseconds each query would take on the
+// profiled GPU (its pipeline stages plus an amortized share of any
+// group-shared work). Aggregate throughput uses the *makespan*: the largest
+// per-executor sum of simulated work — concurrent executors overlap, so
+// completed / makespan is the modeled steady-state QPS of the deployment.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "core/dr_topk.hpp"
+#include "data/rng.hpp"
+
+namespace drtopk::serve {
+
+struct ServerStats {
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 groups = 0;         ///< admission groups executed
+  u64 fused_queries = 0;  ///< queries served from a group-shared delegate
+  u64 plan_hits = 0;      ///< plan-cache lookups that skipped tuning
+  u64 plan_misses = 0;    ///< lookups that paid calibration probes
+
+  double total_sim_ms = 0.0;     ///< summed per-query simulated latency
+  double makespan_sim_ms = 0.0;  ///< max per-executor simulated work
+  double p50_sim_ms = 0.0;
+  double p99_sim_ms = 0.0;
+  core::StageBreakdown stages;  ///< aggregate stage breakdown (construction
+                                ///< counted once per group, not per query)
+
+  /// Modeled aggregate queries/second of the executor fleet.
+  double qps() const {
+    return makespan_sim_ms > 0.0
+               ? static_cast<double>(completed) * 1e3 / makespan_sim_ms
+               : 0.0;
+  }
+  double plan_hit_rate() const {
+    const u64 total = plan_hits + plan_misses;
+    return total ? static_cast<double>(plan_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+  double mean_latency_sim_ms() const {
+    return completed ? total_sim_ms / static_cast<double>(completed) : 0.0;
+  }
+};
+
+/// Thread-safe accumulator behind TopkServer::stats().
+class StatsCollector {
+ public:
+  explicit StatsCollector(u32 executors) : per_executor_(executors, 0.0) {}
+
+  /// Latency samples are reservoir-bounded: a long-running server must not
+  /// grow memory per query, and percentile snapshots must not sort an
+  /// ever-growing vector. Up to kLatencyReservoir samples are exact; beyond
+  /// that, uniform (deterministic) replacement keeps the percentiles an
+  /// unbiased estimate over the whole history.
+  static constexpr size_t kLatencyReservoir = 1 << 16;
+
+  void record_query(double sim_latency_ms,
+                    const core::StageBreakdown& stages, bool fused) {
+    std::lock_guard lk(mu_);
+    ++completed_;
+    if (latencies_.size() < kLatencyReservoir) {
+      latencies_.push_back(sim_latency_ms);
+    } else {
+      const u64 slot = data::rand_u64(0x5ee0, completed_) % completed_;
+      if (slot < kLatencyReservoir)
+        latencies_[static_cast<size_t>(slot)] = sim_latency_ms;
+    }
+    total_sim_ms_ += sim_latency_ms;
+    stages_ += stages;
+    if (fused) ++fused_queries_;
+  }
+
+  void record_failure() {
+    std::lock_guard lk(mu_);
+    ++failed_;
+  }
+
+  void record_group(const core::StageBreakdown& setup_stages) {
+    std::lock_guard lk(mu_);
+    ++groups_;
+    stages_ += setup_stages;
+  }
+
+  /// Simulated work actually performed by one executor (probes, shared
+  /// construction, per-query stages) — the makespan input.
+  void record_executor_work(u32 executor, double sim_ms) {
+    std::lock_guard lk(mu_);
+    per_executor_[executor] += sim_ms;
+  }
+
+  /// Snapshot with percentiles; plan counters are merged in by the caller
+  /// (they live in the PlanCache). The reservoir is copied under the lock
+  /// but sorted after release, so a monitoring poll never stalls the
+  /// executors' record_* calls for the duration of a 64k-element sort.
+  ServerStats snapshot() const {
+    ServerStats s;
+    std::vector<double> sorted;
+    {
+      std::lock_guard lk(mu_);
+      s.completed = completed_;
+      s.failed = failed_;
+      s.groups = groups_;
+      s.fused_queries = fused_queries_;
+      s.total_sim_ms = total_sim_ms_;
+      s.stages = stages_;
+      for (double w : per_executor_)
+        s.makespan_sim_ms = std::max(s.makespan_sim_ms, w);
+      sorted = latencies_;
+    }
+    if (!sorted.empty()) {
+      std::sort(sorted.begin(), sorted.end());
+      const auto at = [&](double q) {
+        const size_t i = static_cast<size_t>(
+            q * static_cast<double>(sorted.size() - 1));
+        return sorted[i];
+      };
+      s.p50_sim_ms = at(0.5);
+      s.p99_sim_ms = at(0.99);
+    }
+    return s;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> latencies_;  ///< reservoir, <= kLatencyReservoir
+  std::vector<double> per_executor_;
+  core::StageBreakdown stages_;
+  double total_sim_ms_ = 0.0;
+  u64 completed_ = 0;
+  u64 failed_ = 0;
+  u64 groups_ = 0;
+  u64 fused_queries_ = 0;
+};
+
+}  // namespace drtopk::serve

@@ -27,9 +27,17 @@ enum class Algo {
   kBucketGgksInplace, ///< GGKS in-place bucket with sentinel zeroing [2]
   kBitonic,           ///< bitonic top-k [42]
   kSortAndChoose,     ///< full radix sort then choose (THRUST stand-in)
+  kHeap,              ///< host-side priority-queue baseline (parallel heaps)
 };
 
 std::string to_string(Algo a);
+
+/// Cost-model-driven engine choice for an (n, k) shape of `key_bytes`-wide
+/// keys on `p`: a cheap analytic roofline comparison (streaming bytes +
+/// launch overhead per engine family). serve::PlanCache uses this as the
+/// engine-selection seed before its calibration probes refine the pick.
+Algo choose_engine(const vgpu::GpuProfile& p, u64 n, u64 k,
+                   u32 key_bytes = 4);
 
 /// The GPU algorithms compared throughout the paper's evaluation.
 inline std::vector<Algo> baseline_algos() {
@@ -108,6 +116,10 @@ TopkResult<K> run_topk_keys(vgpu::Device& dev, std::span<const K> keys,
       return bitonic_topk(dev, keys, k);
     case Algo::kSortAndChoose:
       return sort_and_choose_topk(dev, keys, k);
+    case Algo::kHeap:
+      // CPU baseline on the device's host thread pool: no kernel stats or
+      // simulated GPU time, wall-clock only (see topk/heap.hpp).
+      return heap_topk(keys, k, &dev.pool());
   }
   return {};
 }

@@ -111,11 +111,14 @@ class Device {
   KernelStats launch(const Launch& cfg, F&& kernel) {
     const u32 workers = pool_.size();
     std::vector<KernelStats> per_worker(workers);
-    ensure_scratch(workers, cfg.shared_bytes);
 
     pool_.parallel_for(0, cfg.num_ctas, [&](u64 cta, u32 worker) {
+      // Shared-memory arena: grow-only and thread_local, so an OS thread —
+      // which runs one CTA at a time, whatever launch or Device it belongs
+      // to — reuses one allocation across launches while concurrent
+      // launches (serving executors) stay isolated by construction.
       CtaCtx ctx(static_cast<u32>(cta), cfg,
-                 cfg.shared_bytes ? scratch_[worker].data() : nullptr,
+                 cfg.shared_bytes ? thread_arena(cfg.shared_bytes) : nullptr,
                  per_worker[worker]);
       kernel(ctx);
     });
@@ -172,20 +175,15 @@ class Device {
   }
 
  private:
-  void ensure_scratch(u32 workers, u64 shared_bytes) {
-    if (scratch_.size() < workers) scratch_.resize(workers);
-    if (shared_bytes == 0) return;
-    for (auto& s : scratch_) {
-      if (s.size() < shared_bytes) s.resize(shared_bytes);
-    }
+  static std::byte* thread_arena(u64 bytes) {
+    thread_local std::vector<std::byte> arena;
+    if (arena.size() < bytes) arena.resize(bytes);
+    return arena.data();
   }
 
   GpuProfile profile_;
   CostModel cost_;
   ThreadPool pool_;
-  // Per-worker shared-memory arenas, reused across launches. CTAs mapped to
-  // the same worker run sequentially, so one arena per worker suffices.
-  std::vector<std::vector<std::byte>> scratch_;
 
   mutable std::mutex mu_;
   KernelStats total_;

@@ -36,22 +36,29 @@ void ThreadPool::run_job(Job& job, u32 worker_id) {
   }
 }
 
+ThreadPool::Job* ThreadPool::pick_runnable_locked() {
+  for (Job* j : jobs_) {
+    if (!j->exhausted()) return j;
+  }
+  return nullptr;
+}
+
 void ThreadPool::worker_loop(u32 worker_id) {
-  u64 seen_seq = 0;
   for (;;) {
     Job* job = nullptr;
     {
       std::unique_lock lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen_seq); });
+      // The lock is held from predicate to claim, so a non-stop wakeup
+      // guarantees `job` is a runnable group.
+      cv_.wait(lk,
+               [&] { return stop_ || (job = pick_runnable_locked()) != nullptr; });
       if (stop_) return;
-      job = job_;
-      seen_seq = job_seq_;
-      job->remaining_workers.fetch_add(1, std::memory_order_relaxed);
+      ++job->active_workers;
     }
     run_job(*job, worker_id);
     {
       std::lock_guard lk(mu_);
-      job->remaining_workers.fetch_sub(1, std::memory_order_relaxed);
+      --job->active_workers;
     }
     done_cv_.notify_all();
   }
@@ -77,20 +84,16 @@ void ThreadPool::parallel_for(u64 begin, u64 end,
 
   {
     std::lock_guard lk(mu_);
-    job_ = &job;
-    ++job_seq_;
+    jobs_.push_back(&job);
   }
   cv_.notify_all();
 
-  run_job(job, 0);  // calling thread participates as worker 0
+  run_job(job, 0);  // calling thread participates as its job's worker 0
 
   {
     std::unique_lock lk(mu_);
-    done_cv_.wait(lk, [&] {
-      return job.next.load(std::memory_order_relaxed) >= job.end &&
-             job.remaining_workers.load(std::memory_order_relaxed) == 0;
-    });
-    job_ = nullptr;
+    done_cv_.wait(lk, [&] { return job.exhausted() && job.active_workers == 0; });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
   }
   if (job.error) std::rethrow_exception(job.error);
 }

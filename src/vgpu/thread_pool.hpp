@@ -2,10 +2,17 @@
 // One pool per Device; parallel_for hands out contiguous chunks of the
 // iteration space so neighbouring CTAs (which touch neighbouring memory)
 // stay on the same worker.
+//
+// parallel_for is safe to call from several threads at once: each call
+// enqueues an independent job group, workers drain whichever groups are
+// runnable (cooperatively stealing chunks via the group's atomic cursor),
+// and each caller blocks only until its own group completes. This is what
+// lets multiple serving executors drive kernels on one Device concurrently.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,7 +36,9 @@ class ThreadPool {
   /// Runs fn(index, worker_id) for every index in [begin, end), blocking
   /// until all iterations finish. worker_id < size() and is stable for the
   /// duration of the call, so callers can keep per-worker accumulators
-  /// without atomics. Exceptions from fn propagate to the caller.
+  /// without atomics: the calling thread is worker 0 of its own job, pool
+  /// workers are 1..size()-1. Concurrent callers get independent jobs that
+  /// the workers interleave. Exceptions from fn propagate to the caller.
   void parallel_for(u64 begin, u64 end,
                     const std::function<void(u64, u32)>& fn);
 
@@ -39,21 +48,25 @@ class ThreadPool {
     std::atomic<u64> next{0};
     u64 end = 0;
     u64 chunk = 1;
-    std::atomic<u32> remaining_workers{0};
+    u32 active_workers = 0;  // guarded by pool mu_
     std::exception_ptr error;
     std::mutex error_mu;
+
+    bool exhausted() const {
+      return next.load(std::memory_order_relaxed) >= end;
+    }
   };
 
   void worker_loop(u32 worker_id);
   static void run_job(Job& job, u32 worker_id);
+  Job* pick_runnable_locked();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  Job* job_ = nullptr;  // guarded by mu_
-  u64 job_seq_ = 0;     // guarded by mu_
-  bool stop_ = false;   // guarded by mu_
+  std::condition_variable cv_;       // workers: new runnable job / stop
+  std::condition_variable done_cv_;  // callers: a job finished draining
+  std::deque<Job*> jobs_;  // active job groups, guarded by mu_
+  bool stop_ = false;      // guarded by mu_
 };
 
 }  // namespace drtopk::vgpu

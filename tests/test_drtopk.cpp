@@ -369,6 +369,150 @@ TEST(StatsInvariants, WorkloadRatioShrinksWithN) {
   }
 }
 
+// ---- Selection-only mode (pure k-selection, Section 1) ----
+
+TEST(SelectionOnly, ReturnsJustTheKthKey) {
+  const u64 n = 1 << 15;
+  const u64 k = 123;
+  auto v = data::generate(n, Distribution::kUniform, 17);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.selection_only = true;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, k, cfg, &bd);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.kth, reference_topk(vs, k).back());
+  EXPECT_EQ(r.keys[0], r.kth);
+}
+
+TEST(SelectionOnly, CheaperThanFullTopk) {
+  // The selection path skips the second top-k's collection pass; its
+  // simulated time must not exceed the full pipeline's.
+  const u64 n = 1 << 18;
+  const u64 k = 1 << 10;
+  auto v = data::generate(n, Distribution::kUniform, 18);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig full, sel;
+  sel.selection_only = true;
+  StageBreakdown bf, bs;
+  auto rf = dr_topk_keys<u32>(shared_device(), vs, k, full, &bf);
+  auto rs = dr_topk_keys<u32>(shared_device(), vs, k, sel, &bs);
+  EXPECT_EQ(rs.kth, rf.kth);
+  EXPECT_LE(bs.second_ms, bf.second_ms);
+}
+
+TEST(SelectionOnly, SecondSkippedPathStillSelects) {
+  // Figure 8(b)'s Rule 3 fast path with selection_only: the answer comes
+  // straight from the taken delegates and is reduced to the k-th.
+  auto v = figure_vector();
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg = exact_cfg();
+  cfg.beta = 2;
+  cfg.selection_only = true;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 2, cfg, &bd);
+  EXPECT_TRUE(bd.second_skipped);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.kth, 3012u);
+}
+
+TEST(SelectionOnly, FallbackDirectPathKeepsContract) {
+  // k close to n forces the direct fallback; selection-only must still
+  // return exactly one key there.
+  auto v = data::generate(1024, Distribution::kUniform, 20);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.selection_only = true;
+  StageBreakdown bd;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 900, cfg, &bd);
+  EXPECT_TRUE(bd.fallback_direct);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.kth, reference_topk(vs, 900).back());
+}
+
+TEST(SelectionOnly, AgreesWithDrKthAcrossDistributions) {
+  for (Distribution d : {Distribution::kUniform, Distribution::kNormal,
+                         Distribution::kCustomized}) {
+    auto v = data::generate(1 << 14, d, 19);
+    std::span<const u32> vs(v.data(), v.size());
+    for (u64 k : {u64{1}, u64{50}, u64{999}}) {
+      EXPECT_EQ(dr_kth_keys<u32>(shared_device(), vs, k),
+                reference_topk(vs, k).back())
+          << data::to_string(d) << " k=" << k;
+    }
+  }
+}
+
+// ---- kappa_hook (Section 5.4's distributed threshold exchange) ----
+
+TEST(KappaHook, IdentityHookCalledExactlyOnceAndStaysExact) {
+  const u64 n = 1 << 15;
+  const u64 k = 200;
+  auto v = data::generate(n, Distribution::kUniform, 23);
+  std::span<const u32> vs(v.data(), v.size());
+  int calls = 0;
+  u64 seen_kappa = 0;
+  DrTopkConfig cfg;
+  cfg.beta = 2;  // would trigger the relaxation — the hook must disable it
+  cfg.kappa_hook = [&](u64 kappa) {
+    ++calls;
+    seen_kappa = kappa;
+    return kappa;
+  };
+  auto r = dr_topk_keys<u32>(shared_device(), vs, k, cfg);
+  EXPECT_EQ(r.keys, reference_topk(vs, k));
+  // A collective exchange must run exactly once per pipeline invocation —
+  // the Section 4.3 relaxation (whose guard can recompute kappa) is
+  // disabled whenever a hook is installed.
+  EXPECT_EQ(calls, 1);
+  EXPECT_GT(seen_kappa, 0u);
+}
+
+TEST(KappaHook, HookDisablesRelaxationOnTieHeavyData) {
+  // ND's ties are what make the relaxation guard recompute; even there the
+  // hook must fire exactly once.
+  auto v = data::generate(1 << 15, Distribution::kNormal, 24);
+  std::span<const u32> vs(v.data(), v.size());
+  int calls = 0;
+  DrTopkConfig cfg;
+  cfg.beta = 2;
+  cfg.kappa_hook = [&](u64 kappa) {
+    ++calls;
+    return kappa;
+  };
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 100, cfg);
+  EXPECT_EQ(r.keys, reference_topk(vs, 100));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(KappaHook, SharpenedThresholdShrinksCandidatesAndStaysExact) {
+  // A hook that returns the *true* k-th element (a valid lower bound that
+  // dominates the locally derived kappa — what the multi-GPU exchange
+  // produces) must keep the result exact while shrinking the candidate set.
+  const u64 n = 1 << 16;
+  const u64 k = 1 << 9;
+  auto v = data::generate(n, Distribution::kUniform, 25);
+  std::span<const u32> vs(v.data(), v.size());
+  const u64 true_kth = reference_topk(vs, k).back();
+
+  DrTopkConfig plain;
+  plain.beta = 1;
+  StageBreakdown bd_plain;
+  auto rp = dr_topk_keys<u32>(shared_device(), vs, k, plain, &bd_plain);
+
+  DrTopkConfig hooked = plain;
+  hooked.kappa_hook = [&](u64 kappa) {
+    EXPECT_LE(kappa, true_kth);  // local kappa lower-bounds the true k-th
+    return std::max(kappa, true_kth);
+  };
+  StageBreakdown bd_hook;
+  auto rh = dr_topk_keys<u32>(shared_device(), vs, k, hooked, &bd_hook);
+
+  EXPECT_EQ(rh.keys, rp.keys);
+  EXPECT_LE(bd_hook.concat_len, bd_plain.concat_len);
+  EXPECT_LE(bd_hook.taken_delegates, bd_plain.taken_delegates);
+}
+
 // ---- Typed frontend ----
 
 TEST(TypedDrTopk, SmallestFloats) {

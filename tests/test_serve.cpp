@@ -1,0 +1,323 @@
+// Tests for the batched top-k serving engine: admission batching with
+// shared delegate construction, plan-cache behaviour, backpressure, and —
+// the central property — every concurrently served query returning results
+// bit-identical to the single-query core::dr_topk path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "data/distributions.hpp"
+#include "serve/server.hpp"
+
+namespace drtopk::serve {
+namespace {
+
+using data::Criterion;
+using data::Distribution;
+using topk::reference_topk;
+
+vgpu::Device& shared_device() {
+  static vgpu::Device dev(vgpu::GpuProfile::v100s());
+  return dev;
+}
+
+std::vector<u64> widen(const std::vector<u32>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(Serve, SingleQueryMatchesSingleQueryPath) {
+  auto v = data::generate(1 << 16, Distribution::kUniform, 11);
+  std::span<const u32> vs(v.data(), v.size());
+  const auto expect = core::dr_topk_keys<u32>(shared_device(), vs, 100).keys;
+
+  TopkServer server(shared_device());
+  auto r = server.submit(Query::view(vs, 100)).get();
+  EXPECT_EQ(r.values, widen(expect));
+  EXPECT_EQ(r.kth, static_cast<u64>(expect.back()));
+  EXPECT_GT(r.latency_sim_ms, 0.0);
+}
+
+TEST(Serve, ConcurrentMixedQueriesBitIdenticalToSequential) {
+  // Several corpora x several k x criteria x widths, all in flight at once
+  // on one device; every answer must match the single-query path exactly.
+  auto a = data::generate(1 << 16, Distribution::kUniform, 21);
+  auto b = data::generate((1 << 15) + 777, Distribution::kNormal, 22);
+  std::vector<u64> c(1 << 15);
+  for (u64 i = 0; i < c.size(); ++i) c[i] = data::rand_u64(23, i);
+  std::span<const u32> as(a.data(), a.size());
+  std::span<const u32> bs(b.data(), b.size());
+  std::span<const u64> cs(c.data(), c.size());
+
+  ServerConfig cfg;
+  cfg.executors = 4;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (u64 k : {u64{1}, u64{17}, u64{256}, u64{2048}}) {
+    queries.push_back(Query::view(as, k));
+    queries.push_back(Query::view(bs, k));
+    queries.push_back(Query::view(cs, k));
+    queries.push_back(Query::view(as, k, Criterion::kSmallest));
+  }
+  auto results = server.run_batch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const QueryResult& r = results[i];
+    std::vector<u64> expect;
+    if (q.width() == KeyWidth::k64) {
+      auto e = core::dr_topk<u64>(shared_device(), q.data64(), q.k,
+                                  q.criterion);
+      expect = e.values;
+    } else {
+      auto e = core::dr_topk<u32>(shared_device(), q.data32(), q.k,
+                                  q.criterion);
+      expect = widen(e.values);
+    }
+    ASSERT_EQ(r.values, expect) << "query " << i << " k=" << q.k;
+    ASSERT_EQ(r.kth, expect.back()) << "query " << i;
+  }
+}
+
+TEST(Serve, BatchedGroupSharesOneConstructionPass) {
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 31);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;  // deterministic grouping
+  cfg.batch_max = 8;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(Query::view(vs, 64 + i));
+  auto results = server.run_batch(queries);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i].values,
+              widen(reference_topk(vs, queries[i].k)));
+    EXPECT_TRUE(results[i].fused) << i;
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 8u);
+  EXPECT_EQ(s.fused_queries, 8u);
+  EXPECT_EQ(s.groups, 1u);
+  // The whole batch paid for exactly one construction pass: the delegate
+  // builder reads each input element once (|V| element loads).
+  EXPECT_EQ(s.stages.construct_stats.global_load_elems, n);
+}
+
+TEST(Serve, StreamedSubmitsJoinTheInFlightGroup) {
+  // One-at-a-time submits against one corpus: queries arriving while the
+  // first query's group is still setting up (plan probes + construction)
+  // must join it rather than each paying their own construction pass.
+  const u64 n = 1 << 18;
+  auto v = data::generate(n, Distribution::kUniform, 35);
+  std::span<const u32> vs(v.data(), v.size());
+
+  const auto expect = widen(reference_topk(vs, 128));
+  // How many submits land in a shared group depends on how far setup has
+  // progressed when they arrive; with millisecond setups and microsecond
+  // submits, batching is near-certain per attempt — retry a couple of
+  // times so scheduler preemption on a loaded machine cannot flake this.
+  u64 min_groups = 8;
+  for (int attempt = 0; attempt < 3 && min_groups >= 8; ++attempt) {
+    ServerConfig cfg;
+    cfg.executors = 1;
+    cfg.batch_max = 16;
+    TopkServer server(shared_device(), cfg);
+    std::vector<std::future<QueryResult>> futures;
+    for (int i = 0; i < 8; ++i)
+      futures.push_back(server.submit(Query::view(vs, 128)));
+    for (auto& f : futures) EXPECT_EQ(f.get().values, expect);
+    min_groups = std::min(min_groups, server.stats().groups);
+  }
+  EXPECT_LT(min_groups, 8u);
+}
+
+TEST(Serve, PlanCacheHitsOnRecurringShape) {
+  auto v = data::generate(1 << 16, Distribution::kUniform, 41);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  TopkServer server(shared_device(), cfg);
+
+  (void)server.run_batch({Query::view(vs, 128)});
+  const ServerStats cold = server.stats();
+  EXPECT_EQ(cold.plan_hits, 0u);
+  EXPECT_GE(cold.plan_misses, 1u);
+
+  (void)server.run_batch({Query::view(vs, 128)});
+  const ServerStats warm = server.stats();
+  EXPECT_GE(warm.plan_hits, 1u);
+  EXPECT_EQ(warm.plan_misses, cold.plan_misses);  // no re-calibration
+  EXPECT_GE(server.plan_cache().size(), 1u);
+}
+
+TEST(Serve, PlanCacheKeysOnShapeAndDistribution) {
+  auto ud = data::generate(1 << 15, Distribution::kUniform, 51);
+  auto nd = data::generate(1 << 15, Distribution::kNormal, 51);
+  std::span<const u32> us(ud.data(), ud.size());
+  std::span<const u32> ns(nd.data(), nd.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  TopkServer server(shared_device(), cfg);
+  (void)server.run_batch({Query::view(us, 64)});
+  (void)server.run_batch({Query::view(ns, 64)});
+  // Same (n, k) but different distribution fingerprints: two plans.
+  EXPECT_EQ(server.plan_cache().size(), 2u);
+  (void)server.run_batch({Query::view(us, 64)});
+  EXPECT_EQ(server.plan_cache().size(), 2u);
+  EXPECT_GE(server.stats().plan_hits, 1u);
+}
+
+TEST(Serve, PinnedAlphaWinsOverCalibration) {
+  // An explicit base.alpha is a contract (resolve_alpha: "an explicit
+  // cfg.alpha wins"); the plan cache must not probe its way to a different
+  // subrange size.
+  auto v = data::generate(1 << 16, Distribution::kUniform, 55);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.base.alpha = 9;
+  TopkServer server(shared_device(), cfg);
+  auto r = server.submit(Query::view(vs, 64)).get();
+  EXPECT_EQ(r.values, widen(reference_topk(vs, 64)));
+  EXPECT_EQ(r.breakdown.alpha, 9);
+}
+
+TEST(Serve, BackpressureBoundsInFlightAndStaysExact) {
+  auto v = data::generate(1 << 14, Distribution::kCustomized, 61);
+  std::span<const u32> vs(v.data(), v.size());
+  const auto expect = widen(reference_topk(vs, 33));
+
+  ServerConfig cfg;
+  cfg.executors = 2;
+  cfg.max_in_flight = 3;  // force submit() to block and release repeatedly
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 24; ++i)
+    futures.push_back(server.submit(Query::view(vs, 33)));
+  for (auto& f : futures) EXPECT_EQ(f.get().values, expect);
+  EXPECT_EQ(server.stats().completed, 24u);
+}
+
+TEST(Serve, SelectionOnlyQueriesReturnTheKth) {
+  auto v = data::generate(1 << 15, Distribution::kUniform, 71);
+  std::span<const u32> vs(v.data(), v.size());
+  const u64 k = 200;
+  const u32 kth = reference_topk(vs, k).back();
+
+  TopkServer server(shared_device());
+  auto r = server
+               .submit(Query::view(vs, k, Criterion::kLargest,
+                                   /*selection_only=*/true))
+               .get();
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.kth, static_cast<u64>(kth));
+  EXPECT_EQ(r.values[0], static_cast<u64>(kth));
+}
+
+TEST(Serve, OwnedPayloadQueries) {
+  std::vector<u32> payload(1 << 14);
+  for (u64 i = 0; i < payload.size(); ++i)
+    payload[i] = data::rand_u32(81, i);
+  std::span<const u32> ps(payload.data(), payload.size());
+  const auto expect = widen(reference_topk(ps, 50));
+
+  TopkServer server(shared_device());
+  auto r = server.submit(Query::owned(std::move(payload), 50)).get();
+  EXPECT_EQ(r.values, expect);
+}
+
+TEST(Serve, SmallestCriterionThroughServer) {
+  auto v = data::generate(1 << 15, Distribution::kUniform, 91);
+  std::span<const u32> vs(v.data(), v.size());
+  std::vector<u32> asc(v.begin(), v.end());
+  std::sort(asc.begin(), asc.end());
+  asc.resize(20);
+
+  TopkServer server(shared_device());
+  auto r = server.submit(Query::view(vs, 20, Criterion::kSmallest)).get();
+  EXPECT_EQ(r.values, widen(asc));
+}
+
+TEST(Serve, RejectsInvalidQueries) {
+  auto v = data::generate(1024, Distribution::kUniform, 95);
+  std::span<const u32> vs(v.data(), v.size());
+  TopkServer server(shared_device());
+  EXPECT_THROW((void)server.submit(Query::view(vs, 0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)server.submit(Query::view(vs, 2048)),
+               std::invalid_argument);
+  EXPECT_THROW((void)server.submit(Query::view(std::span<const u32>{}, 1)),
+               std::invalid_argument);
+}
+
+TEST(Serve, StatsAreCoherent) {
+  auto v = data::generate(1 << 15, Distribution::kUniform, 97);
+  std::span<const u32> vs(v.data(), v.size());
+  ServerConfig cfg;
+  cfg.executors = 2;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 6; ++i) queries.push_back(Query::view(vs, 100));
+  (void)server.run_batch(queries);
+  (void)server.run_batch(queries);  // second group of the same shape: hits
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 12u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GT(s.qps(), 0.0);
+  EXPECT_GT(s.makespan_sim_ms, 0.0);
+  EXPECT_LE(s.makespan_sim_ms, s.total_sim_ms + 1e-9);
+  EXPECT_LE(s.p50_sim_ms, s.p99_sim_ms + 1e-12);
+  EXPECT_GT(s.plan_hit_rate(), 0.0);  // recurring shape hits after group 1
+}
+
+TEST(Serve, MixedKGroupKeepsFusionForFeasibleQueries) {
+  // One near-n outlier in a group must not disable shared construction for
+  // the feasible majority: the delegate vector is sized for the largest
+  // feasible k, the outlier runs unfused, everyone stays exact.
+  auto v = data::generate(2048, Distribution::kUniform, 98);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.batch_max = 8;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  queries.push_back(Query::view(vs, 1800));  // delegation infeasible
+  for (int i = 0; i < 7; ++i) queries.push_back(Query::view(vs, 10));
+  auto results = server.run_batch(queries);
+
+  EXPECT_EQ(results[0].values, widen(reference_topk(vs, 1800)));
+  EXPECT_FALSE(results[0].fused);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].values, widen(reference_topk(vs, 10))) << i;
+    EXPECT_TRUE(results[i].fused) << i;
+  }
+  EXPECT_EQ(server.stats().groups, 1u);
+}
+
+TEST(Serve, FallbackWhenDelegationInfeasible) {
+  // k close to n: delegation infeasible, server must degrade to the direct
+  // path and still answer exactly.
+  auto v = data::generate(2048, Distribution::kUniform, 99);
+  std::span<const u32> vs(v.data(), v.size());
+  TopkServer server(shared_device());
+  auto r = server.submit(Query::view(vs, 1800)).get();
+  EXPECT_EQ(r.values, widen(reference_topk(vs, 1800)));
+  EXPECT_FALSE(r.fused);
+}
+
+}  // namespace
+}  // namespace drtopk::serve

@@ -55,7 +55,7 @@ std::vector<EngineCase> all_cases() {
   const std::vector<Algo> algos = {
       Algo::kRadixFlag,     Algo::kRadixGgksOop, Algo::kRadixGgksInplace,
       Algo::kBucketInplace, Algo::kBucketOop,    Algo::kBucketGgksInplace,
-      Algo::kBitonic,       Algo::kSortAndChoose};
+      Algo::kBitonic,       Algo::kSortAndChoose, Algo::kHeap};
   const std::vector<Distribution> dists = {
       Distribution::kUniform, Distribution::kNormal,
       Distribution::kCustomized};
@@ -122,7 +122,7 @@ INSTANTIATE_TEST_SUITE_P(
     Edges, EngineEdgeTest,
     ::testing::Values(Algo::kRadixFlag, Algo::kRadixGgksOop,
                       Algo::kBucketInplace, Algo::kBucketOop, Algo::kBitonic,
-                      Algo::kSortAndChoose),
+                      Algo::kSortAndChoose, Algo::kHeap),
     [](const auto& info) {
       std::string s = to_string(info.param);
       for (auto& ch : s)
@@ -214,6 +214,30 @@ TEST(SortAndChoose, CostsMoreThanRadixTopk) {
 }
 
 // ---- Heap baseline ----
+
+TEST(HeapEngine, RoutedThroughDispatchWithDevicePool) {
+  // The heap baseline is a first-class Algo: dispatched like the GPU
+  // engines, running its parallel variant on the device's host pool. It
+  // reports wall-clock only — no kernel stats or simulated GPU time.
+  auto v = data::generate(1 << 15, Distribution::kNormal, 77);
+  std::span<const u32> vs(v.data(), v.size());
+  auto got = run_topk_keys<u32>(shared_device(), vs, 321, Algo::kHeap);
+  EXPECT_EQ(got.keys, reference_topk(vs, 321));
+  EXPECT_EQ(got.stats.kernels_launched, 0u);
+  EXPECT_EQ(got.sim_ms, 0.0);
+  EXPECT_EQ(to_string(Algo::kHeap), "heap");
+}
+
+TEST(ChooseEngine, PrefersRadixAtScaleAndIsStable) {
+  const auto& p = vgpu::GpuProfile::v100s();
+  // At paper-scale shapes the flag radix family dominates (Figures 18/19).
+  EXPECT_EQ(choose_engine(p, u64{1} << 26, 1 << 12), Algo::kRadixFlag);
+  // Deterministic: same shape, same answer.
+  for (u64 k : {u64{1}, u64{64}, u64{1} << 16}) {
+    const Algo a = choose_engine(p, u64{1} << 22, k);
+    EXPECT_EQ(a, choose_engine(p, u64{1} << 22, k));
+  }
+}
 
 TEST(HeapTopk, SequentialMatchesReference) {
   auto v = data::generate(1 << 14, Distribution::kUniform, 8);

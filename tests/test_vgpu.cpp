@@ -51,6 +51,87 @@ TEST(ThreadPool, BackToBackJobs) {
   }
 }
 
+TEST(ThreadPool, ConcurrentCallersGetIndependentJobGroups) {
+  // Several threads drive parallel_for on ONE pool at once (the serving
+  // executors' pattern). Every caller must see its full iteration space
+  // exactly once, with worker ids in range.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr u64 kIters = 2000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    std::vector<std::atomic<int>> fresh(kIters);
+    h.swap(fresh);
+  }
+  std::vector<std::thread> callers;
+  std::atomic<bool> bad_worker{false};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(0, kIters, [&, c](u64 i, u32 w) {
+        if (w >= pool.size()) bad_worker = true;
+        hits[static_cast<size_t>(c)][i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_FALSE(bad_worker.load());
+  for (auto& h : hits)
+    for (auto& x : h) ASSERT_EQ(x.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallerExceptionsStayWithTheirJob) {
+  ThreadPool pool(3);
+  std::atomic<u64> good_sum{0};
+  std::thread thrower([&] {
+    EXPECT_THROW(pool.parallel_for(0, 500,
+                                   [&](u64 i, u32) {
+                                     if (i == 123)
+                                       throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+  });
+  pool.parallel_for(0, 500, [&](u64 i, u32) { good_sum.fetch_add(i); });
+  thrower.join();
+  EXPECT_EQ(good_sum.load(), 124750u);
+}
+
+TEST(Device, ConcurrentKernelLaunchesKeepStatsIsolated) {
+  // Two threads launch kernels (one using shared memory) on one Device;
+  // per-launch stats must be exact, not cross-contaminated.
+  Device dev(GpuProfile::v100s(), 4);
+  constexpr u64 kN = 1 << 14;
+  std::vector<u32> a(kN, 1), b(kN, 2);
+  std::span<const u32> as(a.data(), a.size()), bs(b.data(), b.size());
+  KernelStats sa, sb;
+  std::thread ta([&] {
+    Launch cfg = dev.launch_for_warp_items(kN / 32, "a");
+    sa = dev.launch(cfg, [&](CtaCtx& cta) {
+      cta.for_each_warp([&](Warp& w) {
+        for (u64 i = w.global_id(); i * 32 < kN; i += w.grid_warps())
+          (void)w.load_coalesced(as, i * 32);
+      });
+    });
+  });
+  std::thread tb([&] {
+    Launch cfg = dev.launch_for_warp_items(kN / 32, "b", 8, 4096);
+    sb = dev.launch(cfg, [&](CtaCtx& cta) {
+      cta.for_each_warp([&](Warp& w) {
+        auto sh = cta.shared().alloc<u32>(32);
+        for (u64 i = w.global_id(); i * 32 < kN; i += w.grid_warps()) {
+          auto vals = w.load_coalesced(bs, i * 32);
+          sh.warp_scatter(kWarpSize, [](u32 l) { return l; }, vals);
+        }
+      });
+    });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sa.global_load_elems, kN);
+  EXPECT_EQ(sb.global_load_elems, kN);
+  EXPECT_EQ(sa.shared_stores, 0u);
+  EXPECT_GT(sb.shared_stores, 0u);
+}
+
 class WarpFixture : public ::testing::Test {
  protected:
   KernelStats stats;
