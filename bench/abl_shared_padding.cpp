@@ -17,13 +17,15 @@ int main(int argc, char** argv) {
 
   std::printf("%-6s %-6s %16s %16s %12s %12s\n", "alpha", "beta",
               "conflicts(pad)", "conflicts(none)", "ms(pad)", "ms(none)");
+  vgpu::Workspace ws;
   for (int alpha : {2, 3, 4, 5}) {
     for (u32 beta : {1u, 2u}) {
+      vgpu::Workspace::Scope scope(ws);  // delegate arrays rewound per config
       core::ConstructOpts padded, bare;
       bare.shared_padding = false;
       topk::Accum a(dev), b(dev);
-      (void)core::build_delegate_vector<u32>(a, vs, alpha, beta, padded);
-      (void)core::build_delegate_vector<u32>(b, vs, alpha, beta, bare);
+      (void)core::build_delegate_vector<u32>(a, vs, alpha, beta, padded, ws);
+      (void)core::build_delegate_vector<u32>(b, vs, alpha, beta, bare, ws);
       std::printf("%-6d %-6u %16llu %16llu %12.3f %12.3f\n", alpha, beta,
                   static_cast<unsigned long long>(
                       a.stats().shared_bank_conflicts),

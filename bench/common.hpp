@@ -11,7 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dr_topk.hpp"
@@ -29,6 +32,7 @@ struct Args {
   int kmin = 0;
   int kmax = -1;       ///< default: logn - 6
   int kstep = 4;       ///< log-step between k values (1 when --full)
+  std::string json;    ///< machine-readable report path ("" = bench default)
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -47,9 +51,10 @@ struct Args {
       else if (const char* v3 = val("--kmin=")) a.kmin = std::atoi(v3);
       else if (const char* v4 = val("--kmax=")) a.kmax = std::atoi(v4);
       else if (const char* v5 = val("--kstep=")) a.kstep = std::atoi(v5);
+      else if (const char* v6 = val("--json=")) a.json = v6;
       else if (arg == "--help" || arg == "-h") {
         std::printf("usage: [--logn=N] [--seed=S] [--full] [--kmin=A]"
-                    " [--kmax=B] [--kstep=C]\n");
+                    " [--kmax=B] [--kstep=C] [--json=PATH]\n");
         std::exit(0);
       }
     }
@@ -78,6 +83,243 @@ struct Args {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Machine-readable reports: a minimal JSON value builder plus a section
+// writer, so the perf trajectory is tracked in a file (BENCH_PR2.json)
+// instead of scrollback. Several benches share one report file — each owns
+// a top-level section and write_json_section() read-modify-writes only its
+// own, preserving what the other binaries recorded.
+// ---------------------------------------------------------------------------
+
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  Json& set(const std::string& key, Json v) {
+    members_.emplace_back(key, std::move(v));
+    return *this;
+  }
+  Json& set(const std::string& key, double v) {
+    Json j(Kind::kNumber);
+    j.num_ = v;
+    return set(key, std::move(j));
+  }
+  Json& set(const std::string& key, u64 v) {
+    Json j(Kind::kInteger);
+    j.int_ = v;
+    return set(key, std::move(j));
+  }
+  Json& set(const std::string& key, i64 v) {
+    Json j(Kind::kSigned);
+    j.sint_ = v;
+    return set(key, std::move(j));
+  }
+  Json& set(const std::string& key, int v) {
+    return set(key, static_cast<i64>(v));
+  }
+  Json& set(const std::string& key, bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return set(key, std::move(j));
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  Json& set(const std::string& key, const std::string& v) {
+    Json j(Kind::kString);
+    j.str_ = v;
+    return set(key, std::move(j));
+  }
+  Json& push(Json v) {
+    items_.push_back(std::move(v));
+    return *this;
+  }
+
+  static std::string escape_string(const std::string& s) { return escape(s); }
+
+  std::string dump(int level = 0) const {
+    std::ostringstream os;
+    const std::string pad(2 * static_cast<size_t>(level), ' ');
+    const std::string inner(2 * static_cast<size_t>(level + 1), ' ');
+    switch (kind_) {
+      case Kind::kObject: {
+        if (members_.empty()) return "{}";
+        os << "{\n";
+        for (size_t i = 0; i < members_.size(); ++i) {
+          os << inner << '"' << escape(members_[i].first)
+             << "\": " << members_[i].second.dump(level + 1);
+          if (i + 1 < members_.size()) os << ',';
+          os << '\n';
+        }
+        os << pad << '}';
+        break;
+      }
+      case Kind::kArray: {
+        if (items_.empty()) return "[]";
+        os << "[\n";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          os << inner << items_[i].dump(level + 1);
+          if (i + 1 < items_.size()) os << ',';
+          os << '\n';
+        }
+        os << pad << ']';
+        break;
+      }
+      case Kind::kNumber: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", num_);
+        os << buf;
+        break;
+      }
+      case Kind::kInteger:
+        os << int_;
+        break;
+      case Kind::kSigned:
+        os << sint_;
+        break;
+      case Kind::kString:
+        os << '"' << escape(str_) << '"';
+        break;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        break;
+    }
+    return os.str();
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInteger, kSigned, kString,
+                    kBool };
+  explicit Json(Kind k) : kind_(k) {}
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+  Kind kind_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+  double num_ = 0.0;
+  u64 int_ = 0;
+  i64 sint_ = 0;
+  std::string str_;
+  bool bool_ = false;
+};
+
+/// Splits the top level of a JSON object file into (key, raw-body) pairs.
+/// Tolerant scanner: bracket/brace matching that respects strings; a file
+/// that does not parse yields an empty list (the writer starts fresh).
+inline std::vector<std::pair<std::string, std::string>> json_top_sections(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t i = text.find('{');
+  if (i == std::string::npos) return out;
+  ++i;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\n' || text[i] == '\t' ||
+            text[i] == '\r' || text[i] == ','))
+      ++i;
+  };
+  for (;;) {
+    skip_ws();
+    if (i >= text.size() || text[i] == '}') return out;
+    if (text[i] != '"') return {};
+    ++i;
+    // Keys are captured RAW (escapes preserved verbatim) so the rewrite
+    // emits them unchanged; lookups by plain ASCII section names are
+    // unaffected.
+    std::string key;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) key.push_back(text[i++]);
+      key.push_back(text[i++]);
+    }
+    if (i >= text.size()) return {};
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return {};
+    ++i;
+    skip_ws();
+    // Capture the value by depth matching.
+    const size_t start = i;
+    int depth = 0;
+    bool in_str = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_str) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_str = false;
+        continue;
+      }
+      if (c == '"') in_str = true;
+      else if (c == '{' || c == '[') ++depth;
+      else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // object's closing brace
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    out.emplace_back(key, text.substr(start, i - start));
+  }
+}
+
+/// Read-modify-writes one top-level section of a shared JSON report file.
+inline void write_json_section(const std::string& path,
+                               const std::string& section,
+                               const Json& value) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  auto sections = json_top_sections(existing);
+  const std::string body = value.dump(1);
+  bool replaced = false;
+  for (auto& [key, raw] : sections) {
+    if (key == section) {
+      raw = body;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(Json::escape_string(section), body);
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second;
+    if (i + 1 < sections.size()) out << ',';
+    out << '\n';
+  }
+  out << "}\n";
+  std::printf("[json] wrote section \"%s\" to %s\n", section.c_str(),
+              path.c_str());
+}
+
 inline void print_title(const char* id, const char* what, const Args& a) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id, what);
@@ -87,23 +329,27 @@ inline void print_title(const char* id, const char* what, const Args& a) {
   std::printf("==============================================================\n");
 }
 
-/// Stage-breakdown table shared by the Figure 6/7/10/15 binaries.
-inline void print_breakdown(vgpu::Device& dev, std::span<const u32> v,
-                            const core::DrTopkConfig& base,
-                            const std::vector<u64>& ks) {
+/// Stage-breakdown table shared by the Figure 6/7/10/15 binaries. The
+/// optional per-row hook receives each k's breakdown and result, letting a
+/// bench collect machine-readable rows from the same sweep it prints.
+inline void print_breakdown(
+    vgpu::Device& dev, std::span<const u32> v,
+    const core::DrTopkConfig& base, const std::vector<u64>& ks,
+    const std::function<void(u64, const core::StageBreakdown&,
+                             const topk::TopkResult<u32>&)>& per_row = {}) {
   std::printf("%-10s %5s %10s %10s %10s %10s %10s %12s %12s\n", "k", "alpha",
               "construct", "first", "concat", "second", "total", "|D|",
               "|concat|");
   for (u64 k : ks) {
     core::StageBreakdown bd;
     auto r = core::dr_topk_keys<u32>(dev, v, k, base, &bd);
-    (void)r;
     std::printf("2^%-8d %5d %10.3f %10.3f %10.3f %10.3f %10.3f %12llu %12llu\n",
                 static_cast<int>(std::bit_width(k)) - 1, bd.alpha,
                 bd.construct_ms, bd.first_ms, bd.concat_ms, bd.second_ms,
                 bd.total_ms(),
                 static_cast<unsigned long long>(bd.delegate_len),
                 static_cast<unsigned long long>(bd.concat_len));
+    if (per_row) per_row(k, bd, r);
   }
 }
 

@@ -9,6 +9,7 @@ using namespace drtopk;
 int main(int argc, char** argv) {
   auto args = bench::Args::parse(argc, argv);
   args.default_logn(24);
+  if (args.json.empty()) args.json = "BENCH_PR2.json";
   bench::print_title("Figure 15",
                      "Dr. Top-k breakdown — + construction optimization",
                      args);
@@ -16,8 +17,49 @@ int main(int argc, char** argv) {
   auto v = data::generate(args.n(), data::Distribution::kUniform, args.seed);
   std::span<const u32> vs(v.data(), v.size());
 
-  core::DrTopkConfig cfg;  // defaults: beta=2, filtering, optimized
-  bench::print_breakdown(dev, vs, cfg, args.k_sweep());
+  core::DrTopkConfig cfg;  // defaults: beta=2, filtering, optimized, fused
+
+  // One sweep feeds both the printed table and the machine-readable rows
+  // (fused defaults vs the PR-1 stage-3 / small-stage baseline at every k)
+  // for the shared BENCH report.
+  {
+    core::DrTopkConfig pr1 = cfg;
+    pr1.fused_concat = false;
+    pr1.small_input_shared = false;
+    bench::Json rows = bench::Json::array();
+    bench::print_breakdown(
+        dev, vs, cfg, args.k_sweep(),
+        [&](u64 k, const core::StageBreakdown& bf,
+            const topk::TopkResult<u32>& rf) {
+          core::StageBreakdown bl;
+          auto rl = core::dr_topk_keys<u32>(dev, vs, k, pr1, &bl);
+          bench::Json row = bench::Json::object();
+          row.set("k", k)
+              .set("alpha", bf.alpha)
+              .set("construct_ms", bf.construct_ms)
+              .set("first_ms", bf.first_ms)
+              .set("concat_ms", bf.concat_ms)
+              .set("second_ms", bf.second_ms)
+              .set("total_ms", bf.total_ms())
+              .set("wall_ms", rf.wall_ms)
+              .set("pr1_concat_ms", bl.concat_ms)
+              .set("pr1_total_ms", bl.total_ms())
+              .set("pr1_wall_ms", rl.wall_ms)
+              .set("concat_atomics", bf.concat_stats.atomic_ops)
+              .set("pr1_concat_atomics", bl.concat_stats.atomic_ops)
+              .set("concat_load_txns", bf.concat_stats.global_load_txns)
+              .set("pr1_concat_load_txns", bl.concat_stats.global_load_txns)
+              .set("delegate_len", bf.delegate_len)
+              .set("concat_len", bf.concat_len);
+          rows.push(std::move(row));
+        });
+    bench::Json report = bench::Json::object();
+    report.set("bench", "fig15_breakdown_optimized")
+        .set("logn", args.logn)
+        .set("seed", args.seed)
+        .set("rows", std::move(rows));
+    bench::write_json_section(args.json, "fig15_breakdown_optimized", report);
+  }
 
   std::printf("\nConstruction time, unoptimized vs optimized, largest k:\n");
   const auto ks = args.k_sweep();

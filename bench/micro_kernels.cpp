@@ -28,10 +28,12 @@ void BM_DelegateConstructWarp(benchmark::State& state) {
   std::span<const u32> vs(v.data(), v.size());
   core::ConstructOpts opts;
   opts.optimized = false;
+  vgpu::Workspace ws;
   for (auto _ : state) {
+    vgpu::Workspace::Scope scope(ws);
     topk::Accum acc(dev());
     auto dv = core::build_delegate_vector<u32>(
-        acc, vs, static_cast<int>(state.range(0)), 2, opts);
+        acc, vs, static_cast<int>(state.range(0)), 2, opts, ws);
     benchmark::DoNotOptimize(dv.keys.data());
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
@@ -43,10 +45,12 @@ void BM_DelegateConstructShared(benchmark::State& state) {
   const u64 n = 1 << 22;
   const auto& v = input(n);
   std::span<const u32> vs(v.data(), v.size());
+  vgpu::Workspace ws;
   for (auto _ : state) {
+    vgpu::Workspace::Scope scope(ws);
     topk::Accum acc(dev());
     auto dv = core::build_delegate_vector<u32>(
-        acc, vs, static_cast<int>(state.range(0)), 2);
+        acc, vs, static_cast<int>(state.range(0)), 2, {}, ws);
     benchmark::DoNotOptimize(dv.keys.data());
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) *

@@ -41,12 +41,24 @@ inline constexpr int kSharedPathMaxAlpha = 5;
 struct ConstructOpts {
   bool optimized = true;       ///< use the shared-memory path for small alpha
   bool shared_padding = true;  ///< pad the shared layout (bank conflicts off)
+  /// Store the per-delegate subrange-id array. The fused stage-3 pipeline
+  /// derives delegate validity analytically (valid slots are a prefix of
+  /// each subrange's beta slots) and never reads sids, so the pipeline
+  /// skips these stores entirely; consumers that want the tags (tests, the
+  /// distributed layer) keep the default.
+  bool emit_sids = true;
 };
 
+/// Workspace-backed delegate vector: `keys`/`sids` view arena memory owned
+/// by the workspace the constructor was given; the caller controls their
+/// lifetime through that workspace's scope. Invariant (relied on by the
+/// fused concatenation): within each subrange's beta slots the real
+/// delegates occupy a prefix of length min(beta, subrange_len), sorted
+/// descending; trailing slots are padding (key 0 / sid kInvalidSid).
 template <class K>
 struct DelegateVector {
-  vgpu::device_vector<K> keys;   ///< |D| = num_subranges * beta entries
-  vgpu::device_vector<u32> sids; ///< subrange id per delegate (or kInvalidSid)
+  std::span<K> keys;    ///< |D| = num_subranges * beta entries
+  std::span<u32> sids;  ///< subrange id per delegate (empty if !emit_sids)
   u64 num_subranges = 0;
   u32 beta = 1;
   int alpha = 0;
@@ -115,21 +127,24 @@ void emit_warp_delegates(vgpu::Warp& w,
       }
       ++ptr[lane];
       w.st(dkeys, out_base + r, val);
-      w.st(dsids, out_base + r, static_cast<u32>(sid));
+      if (!dsids.empty()) w.st(dsids, out_base + r, static_cast<u32>(sid));
     } else {
       w.st(dkeys, out_base + r, K{});
-      w.st(dsids, out_base + r, kInvalidSid);
+      if (!dsids.empty()) w.st(dsids, out_base + r, kInvalidSid);
     }
   }
 }
 
 }  // namespace detail
 
-/// Builds the delegate vector for subranges of 2^alpha elements.
+/// Builds the delegate vector for subranges of 2^alpha elements. The
+/// delegate arrays are allocated from `ws` (no per-call heap traffic); the
+/// caller keeps them alive by not rewinding past this point.
 template <class K>
-DelegateVector<K> build_delegate_vector(Accum& acc, std::span<const K> v,
-                                        int alpha, u32 beta,
-                                        const ConstructOpts& opts = {}) {
+DelegateVector<K> build_delegate_vector(
+    Accum& acc, std::span<const K> v, int alpha, u32 beta,
+    const ConstructOpts& opts = {},
+    vgpu::Workspace& ws = vgpu::tls_workspace()) {
   assert(beta >= 1 && beta <= kMaxBeta);
   assert(alpha >= 0);
   const u64 n = v.size();
@@ -140,10 +155,11 @@ DelegateVector<K> build_delegate_vector(Accum& acc, std::span<const K> v,
   dv.num_subranges = S;
   dv.beta = beta;
   dv.alpha = alpha;
-  dv.keys.resize(S * beta);
-  dv.sids.resize(S * beta);
-  std::span<K> dkeys(dv.keys.data(), dv.keys.size());
-  std::span<u32> dsids(dv.sids.data(), dv.sids.size());
+  dv.keys = ws.alloc<K>(S * beta);
+  if (opts.emit_sids) dv.sids = ws.alloc<u32>(S * beta);
+  std::span<K> dkeys = dv.keys;
+  std::span<u32> dsids = dv.sids;
+  const bool emit_sids = opts.emit_sids;
 
   const bool shared_path = opts.optimized && alpha <= kSharedPathMaxAlpha &&
                            len <= vgpu::kWarpSize;
@@ -213,7 +229,7 @@ DelegateVector<K> build_delegate_vector(Accum& acc, std::span<const K> v,
               }
             }
             w.store_coalesced(dkeys, out_base + off, ks, active);
-            w.store_coalesced(dsids, out_base + off, ss, active);
+            if (emit_sids) w.store_coalesced(dsids, out_base + off, ss, active);
           }
         }
       });

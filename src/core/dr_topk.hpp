@@ -33,6 +33,7 @@
 #include <functional>
 
 #include "core/alpha_tuner.hpp"
+#include "core/concat_fused.hpp"
 #include "core/delegate.hpp"
 #include "topk/topk.hpp"
 
@@ -44,6 +45,20 @@ struct DrTopkConfig {
   double tuner_const = 3.0;  ///< Rule 4 Const (paper-tuned value)
   bool filtering = true;     ///< Rule 2 delegate-top-k-enabled filtering
   bool skip_last_first_iter = true;  ///< Section 4.3 first top-k relaxation
+  /// Fused single-pass stage 3 (core/concat_fused.hpp): one delegate pass
+  /// writing a compact per-subrange taken-count array, block-aggregated
+  /// list emission, partial-list-driven delegate concatenation. `false`
+  /// replays the original three-pass stage 3 — kept as the measurable
+  /// baseline and exercised by the parity tests.
+  bool fused_concat = true;
+  /// Single-launch shared-memory sort-and-choose (topk/small.hpp) for the
+  /// first/second top-k whenever their input fits one SM's shared memory.
+  /// The later pipeline stages run on inputs orders of magnitude smaller
+  /// than |V|; at serving rates they are launch-overhead bound, and one
+  /// launch beats a multi-pass radix refinement. Applies only when the
+  /// stage's algorithm is the kRadixFlag default, so engine-comparison
+  /// figures measure what they claim to.
+  bool small_input_shared = true;
   ConstructOpts construct;
   topk::Algo first_algo = topk::Algo::kRadixFlag;
   topk::Algo second_algo = topk::Algo::kRadixFlag;
@@ -148,21 +163,26 @@ inline vgpu::Launch acc_launch_subranges(vgpu::Device& dev, u64 subranges) {
 
 /// Stages 2-4 of the pipeline over a prebuilt delegate vector: first top-k
 /// on the delegates, Rule 2/3 classification + concatenation, second top-k.
-/// Re-entrant — safe to call concurrently on one Device — and the seam that
-/// lets a batch of queries over the same data share one construction pass.
-/// The returned result (and breakdown) covers stages 2-4 only; the caller
-/// owns the construction accounting.
+/// Re-entrant — safe to call concurrently on one Device as long as each
+/// caller passes its own workspace — and the seam that lets a batch of
+/// queries over the same data share one construction pass. All scratch
+/// (taken counts, sid lists, the candidate vector, engine buffers) comes
+/// from `ws` and is rewound before returning, so steady-state callers with
+/// a warmed workspace do zero heap allocations here. The returned result
+/// (and breakdown) covers stages 2-4 only; the caller owns the construction
+/// accounting.
 template <class K>
-topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
-                                           std::span<const K> v, u64 k,
-                                           const DelegateVector<K>& dv,
-                                           const DrTopkConfig& cfg = {},
-                                           StageBreakdown* bd_out = nullptr) {
+topk::TopkResult<K> dr_topk_from_delegates(
+    vgpu::Device& dev, std::span<const K> v, u64 k,
+    const DelegateVector<K>& dv, const DrTopkConfig& cfg = {},
+    StageBreakdown* bd_out = nullptr,
+    vgpu::Workspace& ws = vgpu::tls_workspace()) {
   using topk::Accum;
   topk::WallTimer wall;
   const u64 n = v.size();
   assert(k >= 1 && k <= n);
   assert(dv.size() >= k);  // the delegate vector must hold a top-k
+  vgpu::Workspace::Scope scope(ws);
   StageBreakdown bd;
   bd.alpha = dv.alpha;
   bd.beta = dv.beta;
@@ -176,21 +196,33 @@ topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
   topk::TopkResult<K> result;
 
   // ---- Stage 2: first top-k -> threshold kappa ----
-  // The Section 4.3 relaxation (skip the last radix digit) is incompatible
-  // with a kappa_hook: the hook is a collective exchange that every rank
-  // performs exactly once, and the relaxation guard below may recompute.
+  // A delegate vector that fits one SM's shared memory takes the
+  // single-launch sort-and-choose path: exact kappa, one launch, no
+  // relaxation needed. Otherwise the Section 4.3 relaxation (skip the last
+  // radix digit) applies — it is incompatible with a kappa_hook: the hook
+  // is a collective exchange that every rank performs exactly once, and
+  // the relaxation guard below may recompute.
+  const bool small_first =
+      cfg.small_input_shared && cfg.first_algo == topk::Algo::kRadixFlag &&
+      topk::small_topk_fits<K>(dev.profile(), dkeys.size());
   const bool relax =
-      cfg.skip_last_first_iter && beta > 1 && !cfg.kappa_hook &&
-      cfg.first_algo == topk::Algo::kRadixFlag;
+      !small_first && cfg.skip_last_first_iter && beta > 1 &&
+      !cfg.kappa_hook && cfg.first_algo == topk::Algo::kRadixFlag;
   K kappa;
-  if (cfg.first_algo == topk::Algo::kRadixFlag) {
+  if (small_first) {
+    Accum a2(dev);
+    kappa = topk::small_topk_shared(a2, dkeys, k, /*selection_only=*/true)
+                .kth;
+    bd.first_ms = a2.sim_ms();
+    bd.first_stats = a2.stats();
+  } else if (cfg.first_algo == topk::Algo::kRadixFlag) {
     Accum a2(dev);
     kappa = relax ? topk::radix_kth_flag_relaxed(a2, dkeys, k, 1)
                   : topk::radix_kth_flag(a2, dkeys, k);
     bd.first_ms = a2.sim_ms();
     bd.first_stats = a2.stats();
   } else {
-    auto fr = topk::run_topk_keys(dev, dkeys, k, cfg.first_algo);
+    auto fr = topk::run_topk_keys(dev, dkeys, k, cfg.first_algo, ws);
     kappa = fr.kth;
     bd.first_ms = fr.sim_ms;
     bd.first_stats = fr.stats;
@@ -201,128 +233,148 @@ topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
   // ---- Stage 3: subrange classification + concatenation ----
   Accum a3(dev);
   const u64 S = dv.num_subranges;
-
-  // Phase A: per-subrange taken counts -> qualified list + partial total.
-  vgpu::device_vector<u32> qualified(S);
-  std::span<u32> qspan(qualified.data(), qualified.size());
-  std::array<u64, 3> counters{};  // [0]=qualified, [1]=partial taken, [2]=taken
-  std::span<u64> cspan(counters.data(), counters.size());
-  const auto classify = [&] {
-    counters = {};
-    auto cfg_l = acc_launch_subranges(dev, S);
-    a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
-      cta.for_each_warp([&](vgpu::Warp& w) {
-        for (u64 s = w.global_id(); s < S; s += w.grid_warps()) {
-          const u64 real = std::min<u64>(beta, dv.subrange_len(s, n));
-          auto ks = w.load_coalesced(dkeys, s * beta, beta);
-          auto ss = w.load_coalesced(dsids, s * beta, beta);
-          u32 taken = 0;
-          for (u32 j = 0; j < beta; ++j)
-            if (ss[j] != kInvalidSid && ks[j] >= kappa) ++taken;
-          if (taken == 0) continue;
-          w.atomic_add(cspan, 2, static_cast<u64>(taken));
-          if (taken == real) {
-            const u64 pos = w.atomic_add(cspan, 0, u64{1});
-            w.st(qspan, pos, static_cast<u32>(s));
-          } else {
-            w.atomic_add(cspan, 1, static_cast<u64>(taken));
-          }
-        }
-      });
-    });
-  };
-  classify();
-  // Relaxation guard: skipping the last digit is only profitable when that
-  // digit barely discriminates. On tie-heavy data (e.g. ND, whose whole
-  // value range fits inside one low digit) the relaxed threshold admits
-  // nearly every delegate; detect the blow-up and pay for the exact
-  // threshold instead.
-  if (relax && counters[2] > 4 * k) {
-    Accum a2b(dev);
-    kappa = topk::radix_kth_flag(a2b, dkeys, k);
-    bd.first_ms += a2b.sim_ms();
-    bd.first_stats += a2b.stats();
-    classify();
-  }
-  const u64 q_count = counters[0];
-  const u64 partial_total = counters[1];
-  bd.taken_delegates = counters[2];
-  bd.qualified_subranges = q_count;
-
-  // Candidate capacity: every partial taken delegate + the full length of
-  // every qualified subrange (exact; the last subrange may be short).
-  u64 qual_len = q_count * len;
-  for (u64 i = 0; i < q_count; ++i) {
-    if (qualified[i] == S - 1) {
-      qual_len -= len - dv.subrange_len(S - 1, n);
-      break;
-    }
-  }
-  vgpu::device_vector<K> cand(partial_total + qual_len);
-  std::span<K> cand_span(cand.data(), cand.size());
+  u64 q_count = 0, partial_total = 0;
+  std::span<K> cand;
   u64 cand_count = 0;
   std::span<u64> ccount(&cand_count, 1);
 
-  // Phase B1: partial subranges contribute their taken delegates.
-  if (partial_total > 0) {
-    auto cfg_l = acc_launch_subranges(dev, S);
-    a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
-      cta.for_each_warp([&](vgpu::Warp& w) {
-        for (u64 s = w.global_id(); s < S; s += w.grid_warps()) {
-          const u64 real = std::min<u64>(beta, dv.subrange_len(s, n));
-          auto ks = w.load_coalesced(dkeys, s * beta, beta);
-          auto ss = w.load_coalesced(dsids, s * beta, beta);
-          u32 taken = 0;
-          for (u32 j = 0; j < beta; ++j)
-            if (ss[j] != kInvalidSid && ks[j] >= kappa) ++taken;
-          if (taken == 0 || taken == real) continue;
-          const u64 base = w.atomic_add(ccount, 0, static_cast<u64>(taken));
-          u32 out = 0;
-          for (u32 j = 0; j < beta; ++j) {
-            if (ss[j] != kInvalidSid && ks[j] >= kappa)
-              w.st(cand_span, base + out++, ks[j]);
-          }
-        }
-      });
-    });
-  }
+  // The legacy path needs the sid tags; a delegate vector built without
+  // them (emit_sids=false) can only run fused — degrade gracefully rather
+  // than read an empty span.
+  const bool run_fused = cfg.fused_concat || dsids.empty();
+  if (run_fused) {
+    // Fused single-pass design (core/concat_fused.hpp): one delegate pass
+    // produces the per-subrange taken-count array plus the qualified and
+    // partial sid lists; concatenation then touches only listed subranges.
+    ConcatClassification cls;
+    cls.taken = ws.alloc<u8>(S);
+    cls.qualified = ws.alloc<u32>(S);
+    cls.partial = ws.alloc<u32>(S);
+    classify_subranges_fused(a3, dkeys, S, beta, dv.alpha, n, kappa, cls,
+                             /*reuse_taken=*/false);
+    // Relaxation guard: skipping the last digit is only profitable when
+    // that digit barely discriminates. On tie-heavy data (e.g. ND, whose
+    // whole value range fits inside one low digit) the relaxed threshold
+    // admits nearly every delegate; detect the blow-up, pay for the exact
+    // threshold, and re-threshold only the subranges the cached taken
+    // counts say were touched (kappa can only rise, so untaken subranges
+    // stay untaken and their chunks are skipped wholesale).
+    if (relax && cls.taken_total > 4 * k) {
+      Accum a2b(dev);
+      kappa = topk::radix_kth_flag(a2b, dkeys, k);
+      bd.first_ms += a2b.sim_ms();
+      bd.first_stats += a2b.stats();
+      classify_subranges_fused(a3, dkeys, S, beta, dv.alpha, n, kappa, cls,
+                               /*reuse_taken=*/true);
+    }
+    q_count = cls.qualified_count;
+    partial_total = cls.partial_taken;
+    bd.taken_delegates = cls.taken_total;
+    bd.qualified_subranges = q_count;
 
-  // Phase B2: warp-centric concatenation of qualified subranges, with
-  // Rule 2 filtering (elements >= kappa) unless disabled.
-  if (q_count > 0) {
-    std::span<const u32> cq(qualified.data(), q_count);
-    auto cfg_l = dev.launch_for_warp_items(q_count, "concat");
-    const bool filter = cfg.filtering;
-    a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
-      cta.for_each_warp([&](vgpu::Warp& w) {
-        for (u64 i = w.global_id(); i < q_count; i += w.grid_warps()) {
-          const u32 sid = w.ld(cq, i);
-          const u64 begin = static_cast<u64>(sid) * len;
-          const u64 slen = dv.subrange_len(sid, n);
-          u64 pos = begin;
-          const u64 end = begin + slen;
-          while (pos < end) {
-            const u32 active =
-                static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
-            auto vals = w.load_coalesced(v, pos, active);
-            vgpu::LaneArray<u8> keep{};
-            for (u32 l = 0; l < active; ++l)
-              keep[l] = (!filter || vals[l] >= kappa) ? 1 : 0;
-            const u32 mask = w.ballot(keep, active);
-            const u32 c = std::popcount(mask);
-            if (c) {
-              const u64 base = w.atomic_add(ccount, 0, static_cast<u64>(c));
-              vgpu::LaneArray<K> packed{};
-              u32 j = 0;
-              for (u32 l = 0; l < active; ++l)
-                if (keep[l]) packed[j++] = vals[l];
-              w.store_coalesced(cand_span, base, packed, c);
+    // Candidate capacity: every partial taken delegate + the full length
+    // of every qualified subrange. The only subrange that can be short is
+    // the last one; its cached taken count tells whether it qualified.
+    u64 qual_len = q_count * len;
+    if (S > 0) {
+      const u64 tail_len = dv.subrange_len(S - 1, n);
+      const u64 tail_real = std::min<u64>(beta, tail_len);
+      if (tail_len < len && tail_real > 0 && cls.taken[S - 1] == tail_real)
+        qual_len -= len - tail_len;
+    }
+    cand = ws.alloc<K>(partial_total + qual_len);
+    concat_candidates_fused(a3, v, dkeys, beta, dv.alpha, kappa,
+                            cfg.filtering,
+                            std::span<const u32>(cls.qualified.data(),
+                                                 cls.qualified.size()),
+                            q_count,
+                            std::span<const u32>(cls.partial.data(),
+                                                 cls.partial.size()),
+                            cls.partial_count, cand, ccount);
+  } else {
+    // Legacy three-pass stage 3 (the PR-1 baseline, kept measurable):
+    // classify, re-scan for partial emission, concatenate. Requires the
+    // delegate sid tags to detect padding (run_fused above degrades to the
+    // fused path when they were not materialized).
+    std::span<u32> qspan = ws.alloc<u32>(S);
+    std::array<u64, 3> counters{};  // [0]=qualified, [1]=partial, [2]=taken
+    std::span<u64> cspan(counters.data(), counters.size());
+    const auto classify = [&] {
+      counters = {};
+      auto cfg_l = acc_launch_subranges(dev, S);
+      a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
+        cta.for_each_warp([&](vgpu::Warp& w) {
+          for (u64 s = w.global_id(); s < S; s += w.grid_warps()) {
+            const u64 real = std::min<u64>(beta, dv.subrange_len(s, n));
+            auto ks = w.load_coalesced(dkeys, s * beta, beta);
+            auto ss = w.load_coalesced(dsids, s * beta, beta);
+            u32 taken = 0;
+            for (u32 j = 0; j < beta; ++j)
+              if (ss[j] != kInvalidSid && ks[j] >= kappa) ++taken;
+            if (taken == 0) continue;
+            w.atomic_add(cspan, 2, static_cast<u64>(taken));
+            if (taken == real) {
+              const u64 pos = w.atomic_add(cspan, 0, u64{1});
+              w.st(qspan, pos, static_cast<u32>(s));
+            } else {
+              w.atomic_add(cspan, 1, static_cast<u64>(taken));
             }
-            pos += active;
           }
-        }
+        });
       });
-    });
+    };
+    classify();
+    // Relaxation guard (legacy form: a full re-classification pass).
+    if (relax && counters[2] > 4 * k) {
+      Accum a2b(dev);
+      kappa = topk::radix_kth_flag(a2b, dkeys, k);
+      bd.first_ms += a2b.sim_ms();
+      bd.first_stats += a2b.stats();
+      classify();
+    }
+    q_count = counters[0];
+    partial_total = counters[1];
+    bd.taken_delegates = counters[2];
+    bd.qualified_subranges = q_count;
+
+    u64 qual_len = q_count * len;
+    for (u64 i = 0; i < q_count; ++i) {
+      if (qspan[i] == S - 1) {
+        qual_len -= len - dv.subrange_len(S - 1, n);
+        break;
+      }
+    }
+    cand = ws.alloc<K>(partial_total + qual_len);
+
+    // Phase B1: partial subranges contribute their taken delegates
+    // (full delegate re-scan, one atomic + divergent stores per subrange).
+    if (partial_total > 0) {
+      auto cfg_l = acc_launch_subranges(dev, S);
+      a3.launch(cfg_l, [&](vgpu::CtaCtx& cta) {
+        cta.for_each_warp([&](vgpu::Warp& w) {
+          for (u64 s = w.global_id(); s < S; s += w.grid_warps()) {
+            const u64 real = std::min<u64>(beta, dv.subrange_len(s, n));
+            auto ks = w.load_coalesced(dkeys, s * beta, beta);
+            auto ss = w.load_coalesced(dsids, s * beta, beta);
+            u32 taken = 0;
+            for (u32 j = 0; j < beta; ++j)
+              if (ss[j] != kInvalidSid && ks[j] >= kappa) ++taken;
+            if (taken == 0 || taken == real) continue;
+            const u64 base = w.atomic_add(ccount, 0, static_cast<u64>(taken));
+            u32 out = 0;
+            for (u32 j = 0; j < beta; ++j) {
+              if (ss[j] != kInvalidSid && ks[j] >= kappa)
+                w.st(cand, base + out++, ks[j]);
+            }
+          }
+        });
+      });
+    }
+
+    // Phase B2: warp-centric concatenation of qualified subranges.
+    concat_qualified(a3, v, len, kappa, cfg.filtering,
+                     std::span<const u32>(qspan.data(), qspan.size()),
+                     q_count, cand, ccount);
   }
   bd.concat_ms = a3.sim_ms();
   bd.concat_stats = a3.stats();
@@ -331,10 +383,23 @@ topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
   // ---- Stage 4: second top-k (skipped entirely when Rule 3 leaves the
   // taken delegates as the exact answer — Figure 8b) ----
   bd.second_skipped = (q_count == 0 && bd.taken_delegates == k);
+  const bool small_second =
+      !bd.second_skipped && cfg.small_input_shared &&
+      cfg.second_algo == topk::Algo::kRadixFlag &&
+      topk::small_topk_fits<K>(dev.profile(), cand_count);
   if (bd.second_skipped) {
     result.keys.assign(cand.begin(), cand.begin() + static_cast<i64>(k));
     std::sort(result.keys.begin(), result.keys.end(), std::greater<>());
     if (cfg.selection_only) result.keys = {result.keys.back()};
+  } else if (small_second) {
+    // Candidate vector fits one SM: single-launch sort-and-choose (full
+    // top-k and pure selection alike).
+    std::span<const K> cview(cand.data(), cand_count);
+    topk::Accum a4(dev);
+    auto sr = topk::small_topk_shared(a4, cview, k, cfg.selection_only);
+    bd.second_ms = a4.sim_ms();
+    bd.second_stats = a4.stats();
+    result.keys = std::move(sr.keys);
   } else if (cfg.selection_only) {
     // Pure k-selection on the candidates: no collection pass at all.
     std::span<const K> cview(cand.data(), cand_count);
@@ -345,7 +410,7 @@ topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
     result.keys = {kth};
   } else {
     std::span<const K> cview(cand.data(), cand_count);
-    auto sr = topk::run_topk_keys(dev, cview, k, cfg.second_algo);
+    auto sr = topk::run_topk_keys(dev, cview, k, cfg.second_algo, ws);
     bd.second_ms = sr.sim_ms;
     bd.second_stats = sr.stats;
     result.keys = std::move(sr.keys);
@@ -360,10 +425,13 @@ topk::TopkResult<K> dr_topk_from_delegates(vgpu::Device& dev,
 
 /// Dr. Top-k over directed keys. Returns the exact top-k multiset (sorted
 /// descending), total stats/simulated time, and optionally the breakdown.
+/// Every scratch buffer of every stage (the delegate vector included) is
+/// carved out of `ws` and rewound on return.
 template <class K>
 topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
                                  u64 k, const DrTopkConfig& cfg = {},
-                                 StageBreakdown* bd_out = nullptr) {
+                                 StageBreakdown* bd_out = nullptr,
+                                 vgpu::Workspace& ws = vgpu::tls_workspace()) {
   using topk::Accum;
   topk::WallTimer wall;
   const u64 n = v.size();
@@ -378,7 +446,7 @@ topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
     bd.beta = beta;
     bd.fallback_direct = true;
     topk::TopkResult<K> result = topk::run_topk_keys(dev, v, k,
-                                                     cfg.second_algo);
+                                                     cfg.second_algo, ws);
     bd.second_ms = result.sim_ms;
     bd.second_stats = result.stats;
     bd.concat_len = n;
@@ -390,14 +458,18 @@ topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
   }
 
   // ---- Stage 1: delegate vector construction ----
+  vgpu::Workspace::Scope scope(ws);  // the delegate vector is call scratch
   Accum a1(dev);
-  DelegateVector<K> dv = build_delegate_vector(a1, v, alpha, beta,
-                                               cfg.construct);
+  ConstructOpts copts = cfg.construct;
+  // The fused stage 3 derives delegate validity analytically; skip the sid
+  // array (and its stores) entirely.
+  if (cfg.fused_concat) copts.emit_sids = false;
+  DelegateVector<K> dv = build_delegate_vector(a1, v, alpha, beta, copts, ws);
 
   // ---- Stages 2-4 ----
   StageBreakdown bd;
   topk::TopkResult<K> result = dr_topk_from_delegates(dev, v, k, dv, cfg,
-                                                      &bd);
+                                                      &bd, ws);
   bd.construct_ms = a1.sim_ms();
   bd.construct_stats = a1.stats();
   result.stats += bd.construct_stats;
@@ -412,9 +484,10 @@ topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
 /// stage needs no collection pass.
 template <class K>
 K dr_kth_keys(vgpu::Device& dev, std::span<const K> v, u64 k,
-              DrTopkConfig cfg = {}, StageBreakdown* bd_out = nullptr) {
+              DrTopkConfig cfg = {}, StageBreakdown* bd_out = nullptr,
+              vgpu::Workspace& ws = vgpu::tls_workspace()) {
   cfg.selection_only = true;
-  return dr_topk_keys<K>(dev, v, k, cfg, bd_out).kth;
+  return dr_topk_keys<K>(dev, v, k, cfg, bd_out, ws).kth;
 }
 
 /// Typed frontend mirroring topk::run_topk.
@@ -422,20 +495,22 @@ template <class T>
 topk::TypedTopkResult<T> dr_topk(vgpu::Device& dev, std::span<const T> values,
                                  u64 k, data::Criterion criterion,
                                  const DrTopkConfig& cfg = {},
-                                 StageBreakdown* bd_out = nullptr) {
+                                 StageBreakdown* bd_out = nullptr,
+                                 vgpu::Workspace& ws = vgpu::tls_workspace()) {
   using Key = typename data::KeyTraits<T>::Key;
   topk::WallTimer wall;
   topk::TopkResult<Key> kr;
   if constexpr (std::is_same_v<T, u32> || std::is_same_v<T, u64>) {
     if (criterion == data::Criterion::kLargest)
-      kr = dr_topk_keys<Key>(dev, values, k, cfg, bd_out);
+      kr = dr_topk_keys<Key>(dev, values, k, cfg, bd_out, ws);
   }
   if (kr.keys.empty()) {
     topk::Accum acc(dev);
-    auto keys = topk::make_directed_keys(acc, values, criterion);
+    vgpu::Workspace::Scope scope(ws);  // directed keys are call scratch
+    auto keys = topk::make_directed_keys(acc, values, criterion, ws);
     kr = dr_topk_keys<Key>(dev,
                            std::span<const Key>(keys.data(), keys.size()), k,
-                           cfg, bd_out);
+                           cfg, bd_out, ws);
     kr.stats += acc.stats();
     kr.sim_ms += acc.sim_ms();
   }

@@ -52,6 +52,12 @@ struct PlanKeyHash {
 struct CachedPlan {
   core::ExecPlan plan;
   double probe_sim_ms = 0.0;  ///< one-time calibration cost paid on miss
+  /// Workspace high-water marks observed while executing this shape,
+  /// fed back via PlanCache::note_workspace. Executors and group
+  /// workspaces presize from these on a hit, so a recurring shape never
+  /// grows an arena mid-query.
+  u64 group_ws_bytes = 0;  ///< shared construction (delegate vector, keys)
+  u64 exec_ws_bytes = 0;   ///< per-query stages 2-4 scratch
 };
 
 /// Cheap distribution fingerprint: max bit width over a strided sample plus
@@ -97,7 +103,19 @@ class PlanCache {
   template <class T>
   CachedPlan resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
                      data::Criterion criterion,
-                     const core::DrTopkConfig& base, bool* hit_out = nullptr);
+                     const core::DrTopkConfig& base, bool* hit_out = nullptr,
+                     vgpu::Workspace& ws = vgpu::tls_workspace());
+
+  /// Records workspace high-water marks observed while serving `key`
+  /// (max-merged; zero means "no update"). Future hits presize from them.
+  void note_workspace(const PlanKey& key, u64 group_bytes, u64 exec_bytes) {
+    std::lock_guard lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    it->second.group_ws_bytes = std::max(it->second.group_ws_bytes,
+                                         group_bytes);
+    it->second.exec_ws_bytes = std::max(it->second.exec_ws_bytes, exec_bytes);
+  }
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -122,7 +140,8 @@ class PlanCache {
   template <class T>
   CachedPlan calibrate(vgpu::Device& dev, std::span<const T> v, u64 k,
                        data::Criterion criterion,
-                       const core::DrTopkConfig& base) const;
+                       const core::DrTopkConfig& base,
+                       vgpu::Workspace& ws) const;
 
   Options opts_;
   mutable std::mutex mu_;
@@ -134,7 +153,8 @@ class PlanCache {
 template <class T>
 CachedPlan PlanCache::resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
                               data::Criterion criterion,
-                              const core::DrTopkConfig& base, bool* hit_out) {
+                              const core::DrTopkConfig& base, bool* hit_out,
+                              vgpu::Workspace& ws) {
   const PlanKey key = make_key(v, k, criterion);
   {
     std::lock_guard lk(mu_);
@@ -147,7 +167,7 @@ CachedPlan PlanCache::resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
       return hit;
     }
   }
-  CachedPlan fresh = calibrate(dev, v, k, criterion, base);
+  CachedPlan fresh = calibrate(dev, v, k, criterion, base, ws);
   {
     std::lock_guard lk(mu_);
     map_.emplace(key, fresh);  // idempotent under races
@@ -160,7 +180,8 @@ CachedPlan PlanCache::resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
 template <class T>
 CachedPlan PlanCache::calibrate(vgpu::Device& dev, std::span<const T> v,
                                 u64 k, data::Criterion criterion,
-                                const core::DrTopkConfig& base) const {
+                                const core::DrTopkConfig& base,
+                                vgpu::Workspace& ws) const {
   const u64 n = v.size();
   CachedPlan out;
   out.plan.beta = std::clamp<u32>(base.beta, 1, core::kMaxBeta);
@@ -200,7 +221,7 @@ CachedPlan PlanCache::calibrate(vgpu::Device& dev, std::span<const T> v,
     if (core::clamp_alpha(n, k, out.plan.beta, a) != a) continue;
     core::DrTopkConfig cfg = probe_base;
     cfg.alpha = a;
-    auto r = core::dr_topk<T>(dev, sample, kp, criterion, cfg);
+    auto r = core::dr_topk<T>(dev, sample, kp, criterion, cfg, nullptr, ws);
     out.probe_sim_ms += r.sim_ms;
     if (r.sim_ms < best_ms) {
       best_ms = r.sim_ms;
@@ -223,7 +244,7 @@ CachedPlan PlanCache::calibrate(vgpu::Device& dev, std::span<const T> v,
       core::DrTopkConfig cfg = probe_base;
       cfg.alpha = best_alpha;
       cfg.second_algo = suggested;
-      auto r = core::dr_topk<T>(dev, sample, kp, criterion, cfg);
+      auto r = core::dr_topk<T>(dev, sample, kp, criterion, cfg, nullptr, ws);
       out.probe_sim_ms += r.sim_ms;
       if (r.sim_ms < best_ms) out.plan.second_algo = suggested;
     }

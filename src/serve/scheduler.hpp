@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 
+#include "serve/plan_cache.hpp"
 #include "serve/query.hpp"
 
 namespace drtopk::serve {
@@ -68,11 +69,19 @@ struct Group {
   core::ExecPlan plan;
   bool plan_resolved = false;  ///< plan lookup/calibration completed
   bool plan_hit = false;
+  PlanKey plan_key;            ///< cache key, for workspace feedback
+  u64 plan_exec_ws = 0;        ///< recorded per-query peak: every executor
+                               ///< claiming an item presizes to it first
   bool has_delegates = false;  ///< shared construction succeeded
+  /// Backing storage for the group-shared delegate vector and directed
+  /// keys: a pooled workspace leased for the group's lifetime and recycled
+  /// (capacity retained) when the last item finishes — steady state leases
+  /// are allocation-free.
+  vgpu::WorkspacePool::Lease ws;
   core::DelegateVector<u32> dv32;
   core::DelegateVector<u64> dv64;
-  vgpu::device_vector<u32> keys32;  ///< directed keys (non-identity criteria)
-  vgpu::device_vector<u64> keys64;
+  std::span<const u32> keys32;  ///< directed keys (non-identity criteria)
+  std::span<const u64> keys64;
   bool keys_materialized = false;
   double setup_sim_ms = 0.0;  ///< construction + key conversion, shared by
                               ///< the whole group (amortized into latency)

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace drtopk::serve {
@@ -29,13 +30,13 @@ core::DelegateVector<u64>& group_dv<u64>(Group& g) {
 }
 
 template <class T>
-vgpu::device_vector<T>& group_keys(Group& g);
+std::span<const T>& group_keys(Group& g);
 template <>
-vgpu::device_vector<u32>& group_keys<u32>(Group& g) {
+std::span<const u32>& group_keys<u32>(Group& g) {
   return g.keys32;
 }
 template <>
-vgpu::device_vector<u64>& group_keys<u64>(Group& g) {
+std::span<const u64>& group_keys<u64>(Group& g) {
   return g.keys64;
 }
 
@@ -48,10 +49,26 @@ TopkServer::TopkServer(vgpu::Device& dev, ServerConfig cfg)
       queue_(cfg.batch_max, cfg.max_in_flight),
       collector_(std::max(1u, cfg.executors)) {
   const u32 n = std::max(1u, cfg_.executors);
+  exec_ws_.reserve(n);
+  for (u32 i = 0; i < n; ++i)
+    exec_ws_.push_back(std::make_unique<vgpu::Workspace>());
   executors_.reserve(n);
   for (u32 i = 0; i < n; ++i) {
     executors_.emplace_back([this, i] { executor_loop(i); });
   }
+}
+
+u64 TopkServer::workspace_growths() const {
+  u64 total = group_ws_.growths();
+  for (const auto& ws : exec_ws_) total += ws->growths();
+  return total;
+}
+
+u64 TopkServer::workspace_high_water() const {
+  u64 peak = group_ws_.high_water_bytes();
+  for (const auto& ws : exec_ws_)
+    peak = std::max(peak, ws->high_water_bytes());
+  return peak;
 }
 
 TopkServer::~TopkServer() {
@@ -144,16 +161,29 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
   if (kmax == 0) kmax = g.setup_kmax;  // none feasible: plan caches direct
 
   double executor_work = 0.0;
+  vgpu::Workspace& ews = *exec_ws_[executor_id];
+  u64 group_ws_reserve = 0;
 
   // Plan: cache hit replays the calibrated decision; miss pays the probes.
+  g.plan_key = PlanCache::make_key(values, kmax, g.criterion);
   if (cfg_.use_plan_cache) {
     bool hit = false;
     CachedPlan cp = plans_.resolve<T>(dev_, values, kmax, g.criterion,
-                                      cfg_.base, &hit);
+                                      cfg_.base, &hit, ews);
     g.plan = cp.plan;
     g.plan_hit = hit;
     g.plan_resolved = true;
     executor_work += cp.probe_sim_ms;
+    if (cp.probe_sim_ms > 0) collector_.record_calibration(cp.probe_sim_ms);
+    // Presize from the shape's recorded peaks so arenas meeting a
+    // recurring shape for the first time usually skip organic growth
+    // (capacity-based reserve is best effort: an already-fragmented arena
+    // may still grow once before converging). The per-query peak is
+    // stashed on the group so EVERY executor that later claims one of its
+    // items (not just this setup executor) presizes before running.
+    group_ws_reserve = cp.group_ws_bytes;
+    g.plan_exec_ws = cp.exec_ws_bytes;
+    if (cp.exec_ws_bytes) ews.reserve_bytes(cp.exec_ws_bytes);
   } else {
     g.plan.alpha = cfg_.base.alpha;
     g.plan.beta = cfg_.base.beta;
@@ -163,24 +193,30 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
 
   // Shared construction: one delegate vector serves every query of the
   // group. Sized for the largest k so dv.size() >= k holds for all items.
+  // Its storage lives in a pooled workspace leased for the group's
+  // lifetime (executor workspaces rewind per query; the group's delegate
+  // vector must not).
   const u32 beta = std::clamp<u32>(g.plan.beta, 1, core::kMaxBeta);
   core::DrTopkConfig planned = cfg_.base;
   planned.alpha = g.plan.alpha;
   const int alpha = core::resolve_alpha(g.n, kmax, beta, planned);
   if (alpha >= 0) {
+    g.ws = group_ws_.acquire(group_ws_reserve);
+    g.ws->reset_peak();  // measure THIS shape's construction footprint
     topk::Accum acc(dev_);
     std::span<const Key> keyspan;
     if (topk::key_is_identity<T>(g.criterion)) {
       keyspan = values;  // Key == T for u32/u64
     } else {
-      group_keys<Key>(g) = topk::make_directed_keys(acc, values, g.criterion);
+      group_keys<Key>(g) =
+          topk::make_directed_keys(acc, values, g.criterion, *g.ws);
       g.keys_materialized = true;
-      keyspan = std::span<const Key>(group_keys<Key>(g).data(),
-                                     group_keys<Key>(g).size());
+      keyspan = group_keys<Key>(g);
     }
-    group_dv<Key>(g) =
-        core::build_delegate_vector<Key>(acc, keyspan, alpha, beta,
-                                         cfg_.base.construct);
+    core::ConstructOpts copts = cfg_.base.construct;
+    if (cfg_.base.fused_concat) copts.emit_sids = false;
+    group_dv<Key>(g) = core::build_delegate_vector<Key>(acc, keyspan, alpha,
+                                                        beta, copts, *g.ws);
     g.has_delegates = true;
     g.plan.alpha = alpha;
     g.plan.beta = beta;
@@ -188,6 +224,7 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
     g.setup_stages.construct_ms = acc.sim_ms();
     g.setup_stages.construct_stats = acc.stats();
     executor_work += acc.sim_ms();
+    plans_.note_workspace(g.plan_key, g.ws->peak_bytes(), 0);
   }
   collector_.record_executor_work(executor_id, executor_work);
 }
@@ -195,9 +232,14 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
 void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
                               u32 executor_id) {
   try {
+    vgpu::Workspace& ws = *exec_ws_[executor_id];
+    if (g.plan_exec_ws) ws.reserve_bytes(g.plan_exec_ws);
+    ws.reset_peak();  // per-query footprint, not this arena's lifetime peak
     QueryResult r = g.width == KeyWidth::k64
-                        ? run_item_typed<u64>(g, p, amortize_over)
-                        : run_item_typed<u32>(g, p, amortize_over);
+                        ? run_item_typed<u64>(g, p, amortize_over, ws)
+                        : run_item_typed<u32>(g, p, amortize_over, ws);
+    if (g.plan_resolved)
+      plans_.note_workspace(g.plan_key, 0, ws.peak_bytes());
     collector_.record_query(r.latency_sim_ms, r.breakdown, r.fused);
     // Work actually performed here: a fused item's breakdown holds only its
     // stages 2-4 (the group's construction was charged at setup); an
@@ -212,7 +254,8 @@ void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
 }
 
 template <class T>
-QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over) {
+QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
+                                       vgpu::Workspace& ws) {
   using Key = typename data::KeyTraits<T>::Key;
   const Query& q = p.query;
   QueryResult out;
@@ -235,13 +278,12 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over) 
   core::StageBreakdown bd;
   if (g.has_delegates && group_dv<Key>(g).size() >= q.k) {
     const std::span<const T> values = query_data<T>(q);
-    std::span<const Key> keyspan =
-        g.keys_materialized
-            ? std::span<const Key>(group_keys<Key>(g).data(),
-                                   group_keys<Key>(g).size())
-            : std::span<const Key>(values);
+    std::span<const Key> keyspan = g.keys_materialized
+                                       ? group_keys<Key>(g)
+                                       : std::span<const Key>(values);
     auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
-                                               group_dv<Key>(g), cfg, &bd);
+                                               group_dv<Key>(g), cfg, &bd,
+                                               ws);
     // "Fused" means construction was genuinely shared: either the setup
     // covered several queries, or this is a late joiner riding a pass that
     // others paid for. A singleton group paid full freight — not fused.
@@ -265,7 +307,7 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over) 
     // degraded); the full single-query pipeline, still plan-accelerated
     // when a plan resolved.
     auto r = core::dr_topk<T>(dev_, query_data<T>(q), q.k, q.criterion, cfg,
-                              &bd);
+                              &bd, ws);
     out.values.reserve(r.values.size());
     for (const T v : r.values) out.values.push_back(static_cast<u64>(v));
     out.kth = static_cast<u64>(r.kth);

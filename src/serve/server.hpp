@@ -62,6 +62,15 @@ class TopkServer {
   /// Aggregate metrics (plan counters merged from the cache).
   ServerStats stats() const;
 
+  /// Total arena growths (heap blocks acquired) across every executor
+  /// workspace and the group workspace pool. A warmed-up server serving
+  /// recurring shapes must not increase this — the allocation-regression
+  /// test asserts exactly that. Call while the server is quiescent.
+  u64 workspace_growths() const;
+
+  /// Peak arena bytes in use across all server workspaces.
+  u64 workspace_high_water() const;
+
   const PlanCache& plan_cache() const { return plans_; }
   vgpu::Device& device() { return dev_; }
   const ServerConfig& config() const { return cfg_; }
@@ -73,11 +82,19 @@ class TopkServer {
   template <class T>
   void setup_group_typed(Group& g, u32 executor_id);
   template <class T>
-  QueryResult run_item_typed(Group& g, Pending& p, u64 amortize_over);
+  QueryResult run_item_typed(Group& g, Pending& p, u64 amortize_over,
+                             vgpu::Workspace& ws);
 
   vgpu::Device& dev_;
   ServerConfig cfg_;
   PlanCache plans_;
+  /// Recycled workspaces backing each group's shared delegate vector
+  /// (leases keep the pool's shared state alive, so group teardown order
+  /// is a non-issue).
+  vgpu::WorkspacePool group_ws_;
+  /// One persistent workspace per executor thread: all per-query scratch
+  /// (stages 2-4, engine buffers, plan probes) bump-allocates here.
+  std::vector<std::unique_ptr<vgpu::Workspace>> exec_ws_;
   AdmissionQueue queue_;
   StatsCollector collector_;
   std::vector<std::thread> executors_;

@@ -25,6 +25,7 @@ struct ServerStats {
   u64 plan_misses = 0;    ///< lookups that paid calibration probes
 
   double total_sim_ms = 0.0;     ///< summed per-query simulated latency
+  double calibration_sim_ms = 0.0;  ///< plan-cache probe work (cold starts)
   double makespan_sim_ms = 0.0;  ///< max per-executor simulated work
   double p50_sim_ms = 0.0;
   double p99_sim_ms = 0.0;
@@ -87,6 +88,13 @@ class StatsCollector {
     stages_ += setup_stages;
   }
 
+  /// One-time plan-calibration probe work (not part of any query's
+  /// latency, but part of some executor's makespan).
+  void record_calibration(double sim_ms) {
+    std::lock_guard lk(mu_);
+    calibration_sim_ms_ += sim_ms;
+  }
+
   /// Simulated work actually performed by one executor (probes, shared
   /// construction, per-query stages) — the makespan input.
   void record_executor_work(u32 executor, double sim_ms) {
@@ -108,6 +116,7 @@ class StatsCollector {
       s.groups = groups_;
       s.fused_queries = fused_queries_;
       s.total_sim_ms = total_sim_ms_;
+      s.calibration_sim_ms = calibration_sim_ms_;
       s.stages = stages_;
       for (double w : per_executor_)
         s.makespan_sim_ms = std::max(s.makespan_sim_ms, w);
@@ -132,6 +141,7 @@ class StatsCollector {
   std::vector<double> per_executor_;
   core::StageBreakdown stages_;
   double total_sim_ms_ = 0.0;
+  double calibration_sim_ms_ = 0.0;
   u64 completed_ = 0;
   u64 failed_ = 0;
   u64 groups_ = 0;

@@ -80,7 +80,8 @@ inline u64 bitonic_merge_stages(u64 m) {
 inline constexpr u64 kBitonicSharedMaxK = 256;
 
 template <class K>
-TopkResult<K> bitonic_topk(vgpu::Device& dev, std::span<const K> v, u64 k) {
+TopkResult<K> bitonic_topk(vgpu::Device& dev, std::span<const K> v, u64 k,
+                           vgpu::Workspace& ws = vgpu::tls_workspace()) {
   assert(k >= 1 && k <= v.size());
   WallTimer wall;
   Accum acc(dev);
@@ -91,11 +92,12 @@ TopkResult<K> bitonic_topk(vgpu::Device& dev, std::span<const K> v, u64 k) {
   const u64 chunks0 = (std::max(n, kp) + kp - 1) / kp;
   const u64 np = chunks0 * kp;
 
-  // Ping-pong candidate buffers; padding slots hold the minimum key, which
-  // can never displace a real element from the top-k multiset.
-  vgpu::device_vector<K> bufA(np), bufB((chunks0 + 1) / 2 * kp);
-  std::span<K> curv(bufA.data(), bufA.size());
-  std::span<K> nextv(bufB.data(), bufB.size());
+  // Ping-pong candidate buffers (workspace scratch, rewound on return);
+  // padding slots hold the minimum key, which can never displace a real
+  // element from the top-k multiset.
+  vgpu::Workspace::Scope scope(ws);
+  std::span<K> curv = ws.alloc<K>(np);
+  std::span<K> nextv = ws.alloc<K>((chunks0 + 1) / 2 * kp);
 
   // ---- Phase 1: sort every kp-chunk descending into bufA ----
   {

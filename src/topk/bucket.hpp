@@ -96,10 +96,12 @@ TopkResult<K> bucket_topk_inplace(vgpu::Device& dev, std::span<const K> v,
   return r;
 }
 
-/// GGKS-style out-of-place bucket top-k.
+/// GGKS-style out-of-place bucket top-k. Ping-pong scratch comes from the
+/// workspace and is rewound on return.
 template <class K>
 TopkResult<K> bucket_topk_oop(vgpu::Device& dev, std::span<const K> v,
-                              u64 k) {
+                              u64 k,
+                              vgpu::Workspace& ws = vgpu::tls_workspace()) {
   assert(k >= 1 && k <= v.size());
   WallTimer wall;
   Accum acc(dev);
@@ -108,10 +110,10 @@ TopkResult<K> bucket_topk_oop(vgpu::Device& dev, std::span<const K> v,
   std::span<K> out(r.keys.data(), k);
 
   auto [lo, hi] = device_minmax(acc, v);
-  vgpu::device_vector<K> bufA(v.size()), bufB(v.size());
+  vgpu::Workspace::Scope scope(ws);
   std::span<const K> cur = v;
-  std::span<K> next(bufA.data(), bufA.size());
-  std::span<K> other(bufB.data(), bufB.size());
+  std::span<K> next = ws.alloc<K>(v.size());
+  std::span<K> other = ws.alloc<K>(v.size());
 
   u64 emitted = 0;
   u64 rem = k;

@@ -117,9 +117,12 @@ TopkResult<K> radix_topk_flag(vgpu::Device& dev, std::span<const K> v,
 
 /// GGKS-style out-of-place radix top-k: iteration compacts the bucket of
 /// interest into a fresh buffer; buckets above it go straight to the output.
+/// Scratch (two n-sized ping-pong buffers) comes from the workspace and is
+/// rewound on return.
 template <class K>
 TopkResult<K> radix_topk_ggks_oop(vgpu::Device& dev, std::span<const K> v,
-                                  u64 k) {
+                                  u64 k,
+                                  vgpu::Workspace& ws = vgpu::tls_workspace()) {
   assert(k >= 1 && k <= v.size());
   WallTimer wall;
   Accum acc(dev);
@@ -127,10 +130,10 @@ TopkResult<K> radix_topk_ggks_oop(vgpu::Device& dev, std::span<const K> v,
   r.keys.resize(k);
   std::span<K> out(r.keys.data(), k);
 
-  vgpu::device_vector<K> bufA(v.size()), bufB(v.size());
+  vgpu::Workspace::Scope scope(ws);
   std::span<const K> cur = v;
-  std::span<K> next(bufA.data(), bufA.size());
-  std::span<K> other(bufB.data(), bufB.size());
+  std::span<K> next = ws.alloc<K>(v.size());
+  std::span<K> other = ws.alloc<K>(v.size());
 
   u64 emitted = 0;  // elements already known to be in the top-k
   u64 rem = k;      // rank of the kth element within `cur`

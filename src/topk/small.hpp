@@ -1,0 +1,98 @@
+// Single-launch shared-memory sort-and-choose for small inputs.
+//
+// The Dr. Top-k pipeline's later stages run on inputs that are orders of
+// magnitude smaller than |V| (Section 4: the delegate vector and the
+// concatenated candidate vector). At serving rates those stages are
+// launch-overhead bound: a multi-pass radix selection on a 16 KB candidate
+// vector spends far more simulated time in its ~6 kernel launches than in
+// its memory traffic. Real GPU top-k implementations special-case exactly
+// this regime with a one-block kernel; this engine models it:
+//
+//   one CTA - one launch:  stage the whole input into one SM's shared
+//   memory (coalesced), bitonically sort it there (the network is charged
+//   analytically, like topk/bitonic.hpp), and emit the top k (or just the
+//   k-th key for selection-only callers).
+//
+// Applicability is a hard capacity bound: the input must fit the profile's
+// per-SM shared memory (small_topk_fits). The pipeline uses it for the
+// first top-k when the delegate vector fits and for the second top-k when
+// the candidate vector fits, both gated by DrTopkConfig::small_input_shared
+// so the multi-pass baseline stays measurable.
+#pragma once
+
+#include "topk/bitonic.hpp"
+
+namespace drtopk::topk {
+
+/// True when an n-element input of key type K fits the single-CTA
+/// shared-memory path on `p`.
+template <class K>
+bool small_topk_fits(const vgpu::GpuProfile& p, u64 n) {
+  return n > 0 && n * sizeof(K) <= p.shared_bytes_per_sm;
+}
+
+/// One-launch top-k of a small input. Returns exactly k keys sorted
+/// descending (selection-only: just the k-th key), bit-identical to every
+/// other engine's multiset. No scratch beyond the CTA's shared arena.
+template <class K>
+TopkResult<K> small_topk_shared(Accum& acc, std::span<const K> v, u64 k,
+                                bool selection_only = false) {
+  const u64 n = v.size();
+  assert(k >= 1 && k <= n);
+  assert(small_topk_fits<K>(acc.device().profile(), n));
+  WallTimer wall;
+  TopkResult<K> r;
+  r.keys.resize(selection_only ? 1 : k);
+  std::span<K> out(r.keys.data(), r.keys.size());
+
+  vgpu::Launch cfg;
+  cfg.name = "small_topk_shared";
+  cfg.num_ctas = 1;
+  cfg.warps_per_cta = 8;
+  cfg.shared_bytes = n * sizeof(K);
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    auto sh = cta.shared().alloc<K>(n);
+    // (i) Coalesced staging: every warp copies its slice into shared.
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      const Slice s = warp_slice(n, w.global_id(), w.grid_warps());
+      if (s.len == 0) return;
+      u64 pos = s.begin;
+      const u64 end = s.begin + s.len;
+      while (pos < end) {
+        const u32 active =
+            static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
+        auto vals = w.load_coalesced(v, pos, active);
+        sh.warp_scatter(active, [&](u32 l) { return pos + l; }, vals);
+        pos += active;
+      }
+    });
+    // (ii) In-place bitonic sort, descending. Functionally performed with
+    // the host library; the compare-exchange network is charged
+    // analytically (same convention as topk/bitonic.hpp).
+    vgpu::Warp w = cta.warp(0);
+    detail::charge_shared_network(w.stats(),
+                                  detail::bitonic_sort_cx(std::bit_ceil(n)));
+    std::sort(sh.data(), sh.data() + n, std::greater<>());
+    // (iii) Emission straight out of shared memory.
+    if (selection_only) {
+      w.st(out, 0, sh.ld(k - 1));
+    } else {
+      u64 pos = 0;
+      while (pos < k) {
+        const u32 active =
+            static_cast<u32>(std::min<u64>(vgpu::kWarpSize, k - pos));
+        auto vals = sh.warp_gather(active, [&](u32 l) { return pos + l; });
+        w.store_coalesced(out, pos, vals, active);
+        pos += active;
+      }
+    }
+  });
+
+  r.kth = r.keys.back();
+  r.stats = acc.stats();
+  r.sim_ms = acc.sim_ms();
+  r.wall_ms = wall.ms();
+  return r;
+}
+
+}  // namespace drtopk::topk

@@ -13,15 +13,17 @@
 
 namespace drtopk::topk {
 
-/// In-place ascending radix sort of `data` on the device.
+/// In-place ascending radix sort of `data` on the device. Ping-pong and
+/// histogram-table scratch come from the workspace.
 template <class K>
-void device_radix_sort(Accum& acc, std::span<K> data) {
+void device_radix_sort(Accum& acc, std::span<K> data,
+                       vgpu::Workspace& ws = vgpu::tls_workspace()) {
   const u64 n = data.size();
   if (n <= 1) return;
   constexpr int kPasses = sizeof(K);
-  vgpu::device_vector<K> tmp(n);
+  vgpu::Workspace::Scope scope(ws);
   std::span<K> src = data;
-  std::span<K> dst(tmp.data(), tmp.size());
+  std::span<K> dst = ws.alloc<K>(n);
 
   // Each warp keeps a private shared histogram (stability requires
   // per-warp counts), so the CTA arena holds warps_per_cta of them.
@@ -30,12 +32,13 @@ void device_radix_sort(Accum& acc, std::span<K> data) {
   const u32 total_warps = cfg.num_ctas * cfg.warps_per_cta;
 
   // (warp, digit) counts, then exclusive-scanned into scatter bases.
-  std::vector<u64> table(static_cast<u64>(total_warps) * kRadixBuckets);
+  std::span<u64> table =
+      ws.alloc<u64>(static_cast<u64>(total_warps) * kRadixBuckets);
 
   for (int pass = 0; pass < kPasses; ++pass) {
     const u32 shift = static_cast<u32>(pass) * kRadixBits;
     std::fill(table.begin(), table.end(), 0);
-    std::span<u64> tspan(table.data(), table.size());
+    std::span<u64> tspan = table;
     std::span<const K> csrc(src.data(), src.size());
 
     cfg.name = "radix_sort_hist";
@@ -108,15 +111,16 @@ void device_radix_sort(Accum& acc, std::span<K> data) {
 /// Sort-and-choose: copy, full sort, read the top k from the tail.
 template <class K>
 TopkResult<K> sort_and_choose_topk(vgpu::Device& dev, std::span<const K> v,
-                                   u64 k) {
+                                   u64 k,
+                                   vgpu::Workspace& ws = vgpu::tls_workspace()) {
   assert(k >= 1 && k <= v.size());
   WallTimer wall;
   Accum acc(dev);
   const u64 n = v.size();
 
   // Device-to-device copy of the input (sorting is destructive).
-  vgpu::device_vector<K> work(n);
-  std::span<K> wspan(work.data(), n);
+  vgpu::Workspace::Scope scope(ws);
+  std::span<K> wspan = ws.alloc<K>(n);
   auto cfg = stream_launch(dev, n, "sort_copy");
   acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
     cta.for_each_warp([&](vgpu::Warp& w) {
@@ -134,10 +138,10 @@ TopkResult<K> sort_and_choose_topk(vgpu::Device& dev, std::span<const K> v,
     });
   });
 
-  device_radix_sort(acc, wspan);
+  device_radix_sort(acc, wspan, ws);
 
   TopkResult<K> r;
-  r.keys.assign(work.end() - static_cast<i64>(k), work.end());
+  r.keys.assign(wspan.end() - static_cast<i64>(k), wspan.end());
   std::reverse(r.keys.begin(), r.keys.end());
   // Reading the k chosen elements back is one more (tiny) access.
   vgpu::KernelStats read;

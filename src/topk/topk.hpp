@@ -14,6 +14,7 @@
 #include "topk/bucket.hpp"
 #include "topk/heap.hpp"
 #include "topk/radix.hpp"
+#include "topk/small.hpp"
 #include "topk/sort.hpp"
 
 namespace drtopk::topk {
@@ -47,13 +48,14 @@ inline std::vector<Algo> baseline_algos() {
 
 /// Maps values to directed keys on the device (charged as one streaming
 /// pass). Identity-mapped types under kLargest skip the pass entirely
-/// (see run_topk).
+/// (see run_topk). The key buffer is workspace-backed: the caller owns the
+/// scope and rewinds when done with the keys.
 template <class T>
-vgpu::device_vector<typename data::KeyTraits<T>::Key> make_directed_keys(
-    Accum& acc, std::span<const T> v, Criterion c) {
+std::span<typename data::KeyTraits<T>::Key> make_directed_keys(
+    Accum& acc, std::span<const T> v, Criterion c,
+    vgpu::Workspace& ws = vgpu::tls_workspace()) {
   using Key = typename data::KeyTraits<T>::Key;
-  vgpu::device_vector<Key> keys(v.size());
-  std::span<Key> out(keys.data(), keys.size());
+  std::span<Key> out = ws.alloc<Key>(v.size());
   auto cfg = stream_launch(acc.device(), v.size(), "to_keys");
   acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
     cta.for_each_warp([&](vgpu::Warp& w) {
@@ -73,7 +75,7 @@ vgpu::device_vector<typename data::KeyTraits<T>::Key> make_directed_keys(
       }
     });
   });
-  return keys;
+  return out;
 }
 
 /// True when T's directed keys are bit-identical to its values.
@@ -83,39 +85,40 @@ constexpr bool key_is_identity(Criterion c) {
          c == Criterion::kLargest;
 }
 
-/// Runs `algo` on directed keys (the engine-level entry point).
+/// Runs `algo` on directed keys (the engine-level entry point). Every
+/// engine's scratch comes from `ws` (thread-local fallback when omitted)
+/// and is rewound before returning.
 template <class K>
 TopkResult<K> run_topk_keys(vgpu::Device& dev, std::span<const K> keys,
-                            u64 k, Algo algo) {
+                            u64 k, Algo algo,
+                            vgpu::Workspace& ws = vgpu::tls_workspace()) {
   switch (algo) {
     case Algo::kRadixFlag:
       return radix_topk_flag(dev, keys, k);
     case Algo::kRadixGgksOop:
-      return radix_topk_ggks_oop(dev, keys, k);
+      return radix_topk_ggks_oop(dev, keys, k, ws);
     case Algo::kRadixGgksInplace: {
       // Destructive engine: operate on a scratch copy so callers keep their
       // input (the copy is part of using this engine on borrowed data).
-      vgpu::device_vector<K> scratch(keys.begin(), keys.end());
-      return radix_topk_ggks_inplace(dev,
-                                     std::span<K>(scratch.data(),
-                                                  scratch.size()),
-                                     k);
+      vgpu::Workspace::Scope scope(ws);
+      std::span<K> scratch = ws.alloc<K>(keys.size());
+      std::copy(keys.begin(), keys.end(), scratch.begin());
+      return radix_topk_ggks_inplace(dev, scratch, k);
     }
     case Algo::kBucketInplace:
       return bucket_topk_inplace(dev, keys, k);
     case Algo::kBucketOop:
-      return bucket_topk_oop(dev, keys, k);
+      return bucket_topk_oop(dev, keys, k, ws);
     case Algo::kBucketGgksInplace: {
-      vgpu::device_vector<K> scratch(keys.begin(), keys.end());
-      return bucket_topk_ggks_inplace(dev,
-                                      std::span<K>(scratch.data(),
-                                                   scratch.size()),
-                                      k);
+      vgpu::Workspace::Scope scope(ws);
+      std::span<K> scratch = ws.alloc<K>(keys.size());
+      std::copy(keys.begin(), keys.end(), scratch.begin());
+      return bucket_topk_ggks_inplace(dev, scratch, k);
     }
     case Algo::kBitonic:
-      return bitonic_topk(dev, keys, k);
+      return bitonic_topk(dev, keys, k, ws);
     case Algo::kSortAndChoose:
-      return sort_and_choose_topk(dev, keys, k);
+      return sort_and_choose_topk(dev, keys, k, ws);
     case Algo::kHeap:
       // CPU baseline on the device's host thread pool: no kernel stats or
       // simulated GPU time, wall-clock only (see topk/heap.hpp).
@@ -138,20 +141,22 @@ struct TypedTopkResult {
 
 template <class T>
 TypedTopkResult<T> run_topk(vgpu::Device& dev, std::span<const T> values,
-                            u64 k, Criterion criterion, Algo algo) {
+                            u64 k, Criterion criterion, Algo algo,
+                            vgpu::Workspace& ws = vgpu::tls_workspace()) {
   using Key = typename data::KeyTraits<T>::Key;
   WallTimer wall;
   TopkResult<Key> kr;
   if constexpr (std::is_same_v<T, u32> || std::is_same_v<T, u64>) {
     if (criterion == Criterion::kLargest) {
-      kr = run_topk_keys<Key>(dev, values, k, algo);
+      kr = run_topk_keys<Key>(dev, values, k, algo, ws);
     }
   }
   if (kr.keys.empty()) {
     Accum acc(dev);
-    auto keys = make_directed_keys(acc, values, criterion);
+    vgpu::Workspace::Scope scope(ws);  // keys live for the engine call only
+    auto keys = make_directed_keys(acc, values, criterion, ws);
     kr = run_topk_keys<Key>(
-        dev, std::span<const Key>(keys.data(), keys.size()), k, algo);
+        dev, std::span<const Key>(keys.data(), keys.size()), k, algo, ws);
     kr.stats += acc.stats();
     kr.sim_ms += acc.sim_ms();
   }

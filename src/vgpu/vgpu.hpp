@@ -9,3 +9,4 @@
 #include "vgpu/thread_pool.hpp"
 #include "vgpu/types.hpp"
 #include "vgpu/warp.hpp"
+#include "vgpu/workspace.hpp"

@@ -46,11 +46,29 @@ struct AtomicOps {
 class Warp {
  public:
   Warp(KernelStats& stats, u32 global_id, u32 grid_warps)
-      : stats_(&stats), global_id_(global_id), grid_warps_(grid_warps) {}
+      : sink_(&stats), global_id_(global_id), grid_warps_(grid_warps) {}
+
+  // Accounting is accumulated into a warp-local KernelStats (a hot-loop
+  // store into a stack struct, not a pointer chase into the per-worker
+  // sink) and flushed once when the warp retires. Copies are forbidden so
+  // a warp's counters are flushed exactly once.
+  Warp(const Warp&) = delete;
+  Warp& operator=(const Warp&) = delete;
+  ~Warp() { flush_stats(); }
 
   u32 global_id() const { return global_id_; }
   u32 grid_warps() const { return grid_warps_; }
-  KernelStats& stats() { return *stats_; }
+
+  /// The warp's local (not yet flushed) counters; kernels may charge
+  /// analytic costs directly through this.
+  KernelStats& stats() { return local_; }
+
+  /// Adds the local counters to the launch's per-worker sink. Called
+  /// automatically on destruction; idempotent.
+  void flush_stats() {
+    *sink_ += local_;
+    local_ = KernelStats{};
+  }
 
   // ------------------------------------------------------------------
   // Global memory
@@ -59,18 +77,18 @@ class Warp {
   /// Single-lane (divergent) load: one sector transaction regardless of size.
   template <class T>
   T ld(std::span<const T> v, u64 i) {
-    stats_->global_load_elems += 1;
-    stats_->global_load_bytes += sizeof(T);
-    stats_->global_load_txns += 1;
+    local_.global_load_elems += 1;
+    local_.global_load_bytes += sizeof(T);
+    local_.global_load_txns += 1;
     return v[i];
   }
 
   /// Single-lane (divergent) store.
   template <class T>
   void st(std::span<T> v, u64 i, const T& x) {
-    stats_->global_store_elems += 1;
-    stats_->global_store_bytes += sizeof(T);
-    stats_->global_store_txns += 1;
+    local_.global_store_elems += 1;
+    local_.global_store_bytes += sizeof(T);
+    local_.global_store_txns += 1;
     v[i] = x;
   }
 
@@ -104,12 +122,19 @@ class Warp {
     u64 pos = begin;
     const u64 end = begin + len;
     assert(end <= v.size());
+    // Batched accounting: totals are accumulated in registers across the
+    // whole scan and flushed with three adds, instead of three counter
+    // bumps per 32-element chunk.
+    u64 txns = 0;
     while (pos < end) {
       const u32 active = static_cast<u32>(std::min<u64>(kWarpSize, end - pos));
-      charge_coalesced_load<T>(active);
+      txns += detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
       for (u32 l = 0; l < active; ++l) f(l, v[pos + l]);
       pos += active;
     }
+    local_.global_load_elems += len;
+    local_.global_load_bytes += len * sizeof(T);
+    local_.global_load_txns += txns;
   }
 
   /// Like scan_coalesced but also passes the element index:
@@ -119,12 +144,16 @@ class Warp {
     u64 pos = begin;
     const u64 end = begin + len;
     assert(end <= v.size());
+    u64 txns = 0;  // batched like scan_coalesced
     while (pos < end) {
       const u32 active = static_cast<u32>(std::min<u64>(kWarpSize, end - pos));
-      charge_coalesced_load<T>(active);
+      txns += detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
       for (u32 l = 0; l < active; ++l) f(l, v[pos + l], pos + l);
       pos += active;
     }
+    local_.global_load_elems += len;
+    local_.global_load_bytes += len * sizeof(T);
+    local_.global_load_txns += txns;
   }
 
   /// Scattered warp store: lane l (if bit l of mask set) writes val[l] to
@@ -134,9 +163,9 @@ class Warp {
   void store_scattered(std::span<T> v, const LaneArray<u64>& idx,
                        const LaneArray<T>& val, u32 mask) {
     const u32 active = std::popcount(mask);
-    stats_->global_store_elems += active;
-    stats_->global_store_bytes += static_cast<u64>(active) * sizeof(T);
-    stats_->global_store_txns += active;
+    local_.global_store_elems += active;
+    local_.global_store_bytes += static_cast<u64>(active) * sizeof(T);
+    local_.global_store_txns += active;
     for (u32 l = 0; l < kWarpSize; ++l) {
       if (mask & (1u << l)) v[idx[l]] = val[l];
     }
@@ -145,13 +174,13 @@ class Warp {
   /// Lane-scoped atomic fetch-add (thread-safe across CTAs).
   template <class T>
   T atomic_add(std::span<T> v, u64 i, T delta) {
-    stats_->atomic_ops += 1;
+    local_.atomic_ops += 1;
     return detail::AtomicOps<T>::fetch_add(&v[i], delta);
   }
 
   template <class T>
   T atomic_max(std::span<T> v, u64 i, T x) {
-    stats_->atomic_ops += 1;
+    local_.atomic_ops += 1;
     return detail::AtomicOps<T>::fetch_max(&v[i], x);
   }
 
@@ -209,13 +238,13 @@ class Warp {
   template <class T>
   T broadcast(const LaneArray<T>& x, u32 src, u32 active = kWarpSize) {
     assert(src < kWarpSize);
-    stats_->shfl_ops += active;
+    local_.shfl_ops += active;
     return x[src];
   }
 
   /// Warp vote: bit l of the result is pred[l] != 0 for active lanes.
   u32 ballot(const LaneArray<u8>& pred, u32 active = kWarpSize) {
-    stats_->vote_ops += 1;
+    local_.vote_ops += 1;
     u32 mask = 0;
     for (u32 l = 0; l < active; ++l)
       if (pred[l]) mask |= (1u << l);
@@ -227,7 +256,7 @@ class Warp {
   template <class T>
   LaneArray<T> exclusive_scan_add(const LaneArray<T>& x,
                                   u32 active = kWarpSize) {
-    for (u32 d = 1; d < active; d <<= 1) stats_->shfl_ops += active - d;
+    for (u32 d = 1; d < active; d <<= 1) local_.shfl_ops += active - d;
     LaneArray<T> out{};
     T run{};
     for (u32 l = 0; l < active; ++l) {
@@ -240,27 +269,28 @@ class Warp {
  private:
   template <class T>
   void charge_coalesced_load(u32 active) {
-    stats_->global_load_elems += active;
-    stats_->global_load_bytes += static_cast<u64>(active) * sizeof(T);
-    stats_->global_load_txns +=
+    local_.global_load_elems += active;
+    local_.global_load_bytes += static_cast<u64>(active) * sizeof(T);
+    local_.global_load_txns +=
         detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
   }
 
   template <class T>
   void charge_coalesced_store(u32 active) {
-    stats_->global_store_elems += active;
-    stats_->global_store_bytes += static_cast<u64>(active) * sizeof(T);
-    stats_->global_store_txns +=
+    local_.global_store_elems += active;
+    local_.global_store_bytes += static_cast<u64>(active) * sizeof(T);
+    local_.global_store_txns +=
         detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
   }
 
   void charge_reduction(u32 active) {
     // Tree reduction: halve the active lanes each step.
-    for (u32 w = active / 2; w >= 1; w /= 2) stats_->shfl_ops += w;
+    for (u32 w = active / 2; w >= 1; w /= 2) local_.shfl_ops += w;
     if (active == 1) return;  // no communication needed
   }
 
-  KernelStats* stats_;
+  KernelStats* sink_;       ///< the launch's per-worker stats
+  KernelStats local_;       ///< warp-local accumulator, flushed once
   u32 global_id_;
   u32 grid_warps_;
 };

@@ -46,7 +46,8 @@ TEST_P(DelegateConstruction, DelegatesAreExactSubrangeTopBeta) {
     topk::Accum acc(shared_device());
     ConstructOpts opts;
     opts.optimized = c.optimized;
-    auto dv = build_delegate_vector<u32>(acc, vs, c.alpha, c.beta, opts);
+    vgpu::Workspace ws;
+    auto dv = build_delegate_vector<u32>(acc, vs, c.alpha, c.beta, opts, ws);
 
     ASSERT_EQ(dv.size(), dv.num_subranges * c.beta);
     for (u64 s = 0; s < dv.num_subranges; ++s) {
@@ -84,15 +85,22 @@ TEST(DelegateConstruction, SharedAndWarpPathsProduceIdenticalVectors) {
   const u64 n = (1 << 15) + 13;
   auto v = data::generate(n, data::Distribution::kCustomized, 9);
   std::span<const u32> vs(v.data(), v.size());
+  vgpu::Workspace ws;
   for (int alpha : {2, 4, 5}) {
     for (u32 beta : {1u, 2u, 3u}) {
+      vgpu::Workspace::Scope scope(ws);  // both vectors rewound per config
       topk::Accum a1(shared_device()), a2(shared_device());
       ConstructOpts shared_opts, warp_opts;
       warp_opts.optimized = false;
-      auto dvs = build_delegate_vector<u32>(a1, vs, alpha, beta, shared_opts);
-      auto dvw = build_delegate_vector<u32>(a2, vs, alpha, beta, warp_opts);
-      EXPECT_EQ(dvs.keys, dvw.keys) << "alpha=" << alpha << " beta=" << beta;
-      EXPECT_EQ(dvs.sids, dvw.sids);
+      auto dvs = build_delegate_vector<u32>(a1, vs, alpha, beta, shared_opts,
+                                            ws);
+      auto dvw = build_delegate_vector<u32>(a2, vs, alpha, beta, warp_opts,
+                                            ws);
+      EXPECT_TRUE(std::equal(dvs.keys.begin(), dvs.keys.end(),
+                             dvw.keys.begin(), dvw.keys.end()))
+          << "alpha=" << alpha << " beta=" << beta;
+      EXPECT_TRUE(std::equal(dvs.sids.begin(), dvs.sids.end(),
+                             dvw.sids.begin(), dvw.sids.end()));
     }
   }
 }

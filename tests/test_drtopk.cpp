@@ -369,6 +369,156 @@ TEST(StatsInvariants, WorkloadRatioShrinksWithN) {
   }
 }
 
+// ---- Fused single-pass stage 3 vs the legacy three-pass baseline ----
+
+/// PR-1 baseline configuration: three-pass stage 3, multi-pass radix for
+/// the small stages. Same kappa policy as `fused` so the classification
+/// outcome is comparable field by field.
+DrTopkConfig legacy_of(DrTopkConfig fused) {
+  fused.fused_concat = false;
+  fused.small_input_shared = false;
+  return fused;
+}
+
+TEST(FusedConcat, BitIdenticalAndCheaperAcrossDistributions) {
+  for (Distribution d : {Distribution::kUniform, Distribution::kNormal,
+                         Distribution::kCustomized}) {
+    const u64 n = 1 << 17;
+    auto v = data::generate(n, d, 123);
+    std::span<const u32> vs(v.data(), v.size());
+    for (u64 k : {u64{16}, u64{1} << 10}) {
+      for (u32 beta : {1u, 2u, 4u}) {
+        DrTopkConfig fused;
+        fused.beta = beta;
+        // Exact kappa on both sides (no relaxation, no small-first) so the
+        // classification fields must agree exactly, not just the answer.
+        fused.skip_last_first_iter = false;
+        fused.small_input_shared = false;
+        DrTopkConfig legacy = legacy_of(fused);
+        StageBreakdown bf, bl;
+        auto rf = dr_topk_keys<u32>(shared_device(), vs, k, fused, &bf);
+        auto rl = dr_topk_keys<u32>(shared_device(), vs, k, legacy, &bl);
+        ASSERT_EQ(rf.keys, rl.keys)
+            << data::to_string(d) << " k=" << k << " beta=" << beta;
+        EXPECT_EQ(rf.keys, reference_topk(vs, k));
+        EXPECT_EQ(bf.qualified_subranges, bl.qualified_subranges);
+        EXPECT_EQ(bf.taken_delegates, bl.taken_delegates);
+        EXPECT_EQ(bf.concat_len, bl.concat_len);
+        // The fused pass must not cost more concatenation traffic.
+        EXPECT_LE(bf.concat_stats.atomic_ops, bl.concat_stats.atomic_ops);
+        EXPECT_LE(bf.concat_stats.global_load_txns,
+                  bl.concat_stats.global_load_txns);
+      }
+    }
+  }
+}
+
+TEST(FusedConcat, AtomicReductionAtLeast4xAtBeta2) {
+  // The acceptance bar: stage-3 simulated atomics down >= 4x at beta = 2
+  // (the default) against the PR-1 three-pass baseline.
+  const u64 n = 1 << 18;
+  const u64 k = 1 << 10;
+  for (Distribution d : {Distribution::kUniform, Distribution::kNormal}) {
+    auto v = data::generate(n, d, 321);
+    std::span<const u32> vs(v.data(), v.size());
+    DrTopkConfig fused;
+    fused.beta = 2;
+    DrTopkConfig legacy = legacy_of(fused);
+    StageBreakdown bf, bl;
+    auto rf = dr_topk_keys<u32>(shared_device(), vs, k, fused, &bf);
+    auto rl = dr_topk_keys<u32>(shared_device(), vs, k, legacy, &bl);
+    EXPECT_EQ(rf.keys, rl.keys);
+    EXPECT_GE(bl.concat_stats.atomic_ops, 4 * bf.concat_stats.atomic_ops)
+        << data::to_string(d);
+  }
+}
+
+TEST(FusedConcat, ParityOnSelectionOnlyAndKappaHookPaths) {
+  const u64 n = 1 << 16;
+  for (Distribution d : {Distribution::kUniform, Distribution::kNormal}) {
+    auto v = data::generate(n, d, 77);
+    std::span<const u32> vs(v.data(), v.size());
+    for (u64 k : {u64{5}, u64{300}}) {
+      const u64 true_kth = reference_topk(vs, k).back();
+      // Selection-only.
+      DrTopkConfig fused;
+      fused.beta = 2;
+      fused.selection_only = true;
+      auto legacy = legacy_of(fused);
+      EXPECT_EQ(dr_topk_keys<u32>(shared_device(), vs, k, fused).kth,
+                dr_topk_keys<u32>(shared_device(), vs, k, legacy).kth);
+      // kappa_hook (sharpened threshold, must fire exactly once each).
+      int calls_f = 0, calls_l = 0;
+      DrTopkConfig hf;
+      hf.beta = 2;
+      hf.kappa_hook = [&](u64 kp) { ++calls_f; return std::max(kp, true_kth); };
+      DrTopkConfig hl = legacy_of(hf);
+      hl.kappa_hook = [&](u64 kp) { ++calls_l; return std::max(kp, true_kth); };
+      auto rf = dr_topk_keys<u32>(shared_device(), vs, k, hf);
+      auto rl = dr_topk_keys<u32>(shared_device(), vs, k, hl);
+      EXPECT_EQ(rf.keys, rl.keys) << data::to_string(d) << " k=" << k;
+      EXPECT_EQ(rf.keys, reference_topk(vs, k));
+      EXPECT_EQ(calls_f, 1);
+      EXPECT_EQ(calls_l, 1);
+    }
+  }
+}
+
+TEST(FusedConcat, RelaxationGuardRethresholdsOnlyTouchedChunks) {
+  // ND's ties blow up the relaxed threshold; the fused guard must land on
+  // the same classification as a from-scratch exact pass while re-reading
+  // (far) fewer delegates than a second full pass would.
+  const u64 n = 1 << 17;
+  const u64 k = 1 << 9;
+  auto v = data::generate(n, Distribution::kNormal, 55);
+  std::span<const u32> vs(v.data(), v.size());
+
+  DrTopkConfig relaxed;  // guard path: relaxation on, exact recompute inside
+  relaxed.beta = 2;
+  relaxed.small_input_shared = false;  // keep the radix first stage (relax)
+  DrTopkConfig exact = relaxed;
+  exact.skip_last_first_iter = false;  // straight to the exact threshold
+  StageBreakdown br, be;
+  auto rr = dr_topk_keys<u32>(shared_device(), vs, k, relaxed, &br);
+  auto re = dr_topk_keys<u32>(shared_device(), vs, k, exact, &be);
+  EXPECT_EQ(rr.keys, re.keys);
+  EXPECT_EQ(rr.keys, reference_topk(vs, k));
+  EXPECT_EQ(br.qualified_subranges, be.qualified_subranges);
+  EXPECT_EQ(br.taken_delegates, be.taken_delegates);
+  EXPECT_EQ(br.concat_len, be.concat_len);
+}
+
+TEST(FusedConcat, LegacyRequestWithoutSidsDegradesToFusedSafely) {
+  // fused_concat=false needs the delegate sid tags; when the caller also
+  // disabled emit_sids the pipeline must degrade to the fused pass (which
+  // derives validity analytically) instead of reading an empty span.
+  auto v = data::generate(1 << 14, Distribution::kUniform, 202);
+  std::span<const u32> vs(v.data(), v.size());
+  DrTopkConfig cfg;
+  cfg.beta = 2;
+  cfg.fused_concat = false;
+  cfg.construct.emit_sids = false;
+  auto r = dr_topk_keys<u32>(shared_device(), vs, 128, cfg);
+  EXPECT_EQ(r.keys, reference_topk(vs, 128));
+}
+
+TEST(SmallTopk, SingleLaunchMatchesReference) {
+  vgpu::Device& dev = shared_device();
+  for (u64 n : {u64{33}, u64{1000}, u64{1} << 13}) {
+    auto v = data::generate(n, Distribution::kCustomized, n);
+    std::span<const u32> vs(v.data(), v.size());
+    for (u64 k : {u64{1}, u64{7}, n / 2, n}) {
+      topk::Accum acc(dev);
+      auto r = topk::small_topk_shared<u32>(acc, vs, k);
+      EXPECT_EQ(r.keys, reference_topk(vs, k)) << "n=" << n << " k=" << k;
+      EXPECT_EQ(r.stats.kernels_launched, 1u);  // the whole point
+      topk::Accum sel(dev);
+      EXPECT_EQ(topk::small_topk_shared<u32>(sel, vs, k, true).kth,
+                reference_topk(vs, k).back());
+    }
+  }
+}
+
 // ---- Selection-only mode (pure k-selection, Section 1) ----
 
 TEST(SelectionOnly, ReturnsJustTheKthKey) {

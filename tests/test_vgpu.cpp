@@ -134,8 +134,11 @@ TEST(Device, ConcurrentKernelLaunchesKeepStatsIsolated) {
 
 class WarpFixture : public ::testing::Test {
  protected:
-  KernelStats stats;
-  Warp warp{stats, 0, 1};
+  KernelStats sink;
+  Warp warp{sink, 0, 1};
+  /// Warp accounting is batched warp-locally and flushed once when the
+  /// warp retires; fixture assertions read the live local counters.
+  const KernelStats& stats() { return warp.stats(); }
 };
 
 TEST_F(WarpFixture, ReduceMaxChargesPaperShuffleCount) {
@@ -143,7 +146,7 @@ TEST_F(WarpFixture, ReduceMaxChargesPaperShuffleCount) {
   x[17] = 42;
   EXPECT_EQ(warp.reduce_max(x), 42u);
   // Section 5.2: sum_{i=1..5} 32/2^i = 31 shuffles per full-warp reduction.
-  EXPECT_EQ(stats.shfl_ops, 31u);
+  EXPECT_EQ(stats().shfl_ops, 31u);
 }
 
 TEST_F(WarpFixture, ReduceMaxIndexTiesGoToLowestLane) {
@@ -157,8 +160,8 @@ TEST_F(WarpFixture, BallotBuildsLaneMask) {
   LaneArray<u8> pred{};
   pred[0] = pred[5] = pred[31] = 1;
   EXPECT_EQ(warp.ballot(pred), (1u << 0) | (1u << 5) | (1u << 31));
-  EXPECT_EQ(stats.vote_ops, 1u);
-  EXPECT_EQ(stats.shfl_ops, 0u);  // ballot is a vote, not a shuffle
+  EXPECT_EQ(stats().vote_ops, 1u);
+  EXPECT_EQ(stats().shfl_ops, 0u);  // ballot is a vote, not a shuffle
 }
 
 TEST_F(WarpFixture, ExclusiveScanAddIsCorrectAndCharged) {
@@ -171,7 +174,7 @@ TEST_F(WarpFixture, ExclusiveScanAddIsCorrectAndCharged) {
     expect += x[i];
   }
   // Hillis-Steele: steps d=1,2,4,8,16 with (32-d) receiving lanes.
-  EXPECT_EQ(stats.shfl_ops, 31u + 30 + 28 + 24 + 16);
+  EXPECT_EQ(stats().shfl_ops, 31u + 30 + 28 + 24 + 16);
 }
 
 TEST_F(WarpFixture, CoalescedLoadCountsSectors) {
@@ -179,10 +182,10 @@ TEST_F(WarpFixture, CoalescedLoadCountsSectors) {
   std::iota(v.begin(), v.end(), 0);
   auto lanes = warp.load_coalesced(std::span<const u32>(v), 0);
   EXPECT_EQ(lanes[31], 31u);
-  EXPECT_EQ(stats.global_load_elems, 32u);
-  EXPECT_EQ(stats.global_load_bytes, 128u);
+  EXPECT_EQ(stats().global_load_elems, 32u);
+  EXPECT_EQ(stats().global_load_bytes, 128u);
   // 32 x 4B contiguous = 128B = 4 x 32B sectors.
-  EXPECT_EQ(stats.global_load_txns, 4u);
+  EXPECT_EQ(stats().global_load_txns, 4u);
 }
 
 TEST_F(WarpFixture, ScatteredStoreCountsOneSectorPerLane) {
@@ -194,8 +197,8 @@ TEST_F(WarpFixture, ScatteredStoreCountsOneSectorPerLane) {
     val[l] = l;
   }
   warp.store_scattered(std::span<u32>(v), idx, val, ~0u);
-  EXPECT_EQ(stats.global_store_txns, 32u);
-  EXPECT_EQ(stats.global_store_elems, 32u);
+  EXPECT_EQ(stats().global_store_txns, 32u);
+  EXPECT_EQ(stats().global_store_elems, 32u);
   EXPECT_EQ(v[97], 1u);
 }
 
@@ -209,7 +212,7 @@ TEST_F(WarpFixture, ScanCoalescedVisitsEveryElementOnce) {
   });
   EXPECT_EQ(count, 80u);
   EXPECT_EQ(sum, static_cast<u64>((10 + 89) * 80 / 2));
-  EXPECT_EQ(stats.global_load_elems, 80u);
+  EXPECT_EQ(stats().global_load_elems, 80u);
 }
 
 TEST(SharedMemTest, GatherWithoutConflicts) {
