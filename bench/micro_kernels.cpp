@@ -86,6 +86,66 @@ void BM_DrTopkPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_DrTopkPipeline)->Arg(128)->Arg(1 << 12)->Arg(1 << 16);
 
+// Satellite (PR 3): host wall time of the Warp lane loops. The "legacy"
+// variant replays the pre-restructuring shape of scan_coalesced — per-chunk
+// min/branch, variable trip count, per-chunk transaction accounting — while
+// the "vectorized" variant is the current API (accounting in closed form,
+// constant-trip-count chunk bodies that auto-vectorize). Both compute the
+// same per-lane running maxima over the same kernel geometry, so the delta
+// is purely the loop restructuring.
+template <bool kLegacy>
+void warp_scan_host_pass(benchmark::State& state) {
+  const u64 n = 1 << 22;
+  const auto& v = input(n);
+  std::span<const u32> vs(v.data(), v.size());
+  for (auto _ : state) {
+    u32 sink = 0;
+    auto cfg = dev().launch_for_warp_items(n / 4096, "bm_scan");
+    dev().launch(cfg, [&](vgpu::CtaCtx& cta) {
+      cta.for_each_warp([&](vgpu::Warp& w) {
+        const u64 chunks = n / 4096;
+        for (u64 c = w.global_id(); c < chunks; c += w.grid_warps()) {
+          vgpu::LaneArray<u32> best{};
+          if constexpr (kLegacy) {
+            const u64 begin = c * 4096, end = begin + 4096;
+            u64 pos = begin, txns = 0;
+            while (pos < end) {
+              const u32 active = static_cast<u32>(
+                  std::min<u64>(vgpu::kWarpSize, end - pos));
+              txns += (static_cast<u64>(active) * sizeof(u32) +
+                       vgpu::kSectorBytes - 1) / vgpu::kSectorBytes;
+              for (u32 l = 0; l < active; ++l)
+                best[l] = std::max(best[l], vs[pos + l]);
+              pos += active;
+            }
+            w.stats().global_load_elems += 4096;
+            w.stats().global_load_bytes += 4096 * sizeof(u32);
+            w.stats().global_load_txns += txns;
+          } else {
+            w.scan_coalesced(vs, c * 4096, 4096, [&](u32 l, u32 x) {
+              best[l] = std::max(best[l], x);
+            });
+          }
+          sink ^= w.reduce_max(best);
+        }
+      });
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+
+void BM_WarpScanLegacy(benchmark::State& state) {
+  warp_scan_host_pass<true>(state);
+}
+BENCHMARK(BM_WarpScanLegacy);
+
+void BM_WarpScanVectorized(benchmark::State& state) {
+  warp_scan_host_pass<false>(state);
+}
+BENCHMARK(BM_WarpScanVectorized);
+
 void BM_HeapTopkCpu(benchmark::State& state) {
   const u64 n = 1 << 22;
   const auto& v = input(n);

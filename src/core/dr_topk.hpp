@@ -115,6 +115,39 @@ inline int resolve_alpha(u64 n, u64 k, u32 beta, const DrTopkConfig& cfg) {
   return clamp_alpha(n, k, beta, alpha);
 }
 
+/// Batched-serving seam for dr_topk_from_delegates: lets the serving layer
+/// (a) supply an exact stage-2 threshold resolved elsewhere — one batched
+/// launch covers a whole admission group's kappas — and (b) request that
+/// stage 4 be *deferred*: the call stops after concatenation and hands the
+/// candidate span back instead of launching the second top-k, so the caller
+/// can finalize many queries' candidates with one batched selection launch
+/// (topk/batched.hpp).
+///
+/// Ownership contract: deferral REQUIRES `alloc_cand` — the candidate
+/// vector is carved out of whatever arena the callback allocates from (the
+/// serving group's pooled workspace) instead of the call's scratch
+/// workspace, so the span outlives the call's own scratch scope and stays
+/// valid until that arena is rewound or released. The caller owns both the
+/// finalization and the arena lifetime. Without `alloc_cand` the call
+/// never defers (candidates would die with the call's Scope rewind); the
+/// struct is then a kappa-only channel.
+template <class K>
+struct DeferredSecond {
+  // Inputs.
+  bool have_kappa = false;  ///< stage-2 threshold already resolved (exact:
+                            ///< the relaxation guard never applies)
+  K kappa{};
+  /// Candidate-vector storage provider (must return >= the requested
+  /// length); its arena must outlive the deferred finalization. Unset:
+  /// candidates come from the call's workspace and deferral is disabled.
+  std::function<std::span<K>(u64)> alloc_cand;
+  bool defer = true;  ///< request stage-4 deferral (false: kappa-only use)
+  // Outputs.
+  bool deferred = false;    ///< stage 4 was deferred; result.keys is empty
+  std::span<const K> cand;  ///< the candidate span (see contract above)
+  u64 cand_count = 0;
+};
+
 /// Per-stage accounting: the quantities plotted in Figures 6/7/10/13/15
 /// (stage times) and Figures 20/21 (workload = vector sizes).
 struct StageBreakdown {
@@ -176,7 +209,8 @@ topk::TopkResult<K> dr_topk_from_delegates(
     vgpu::Device& dev, std::span<const K> v, u64 k,
     const DelegateVector<K>& dv, const DrTopkConfig& cfg = {},
     StageBreakdown* bd_out = nullptr,
-    vgpu::Workspace& ws = vgpu::tls_workspace()) {
+    vgpu::Workspace& ws = vgpu::tls_workspace(),
+    DeferredSecond<K>* ds = nullptr) {
   using topk::Accum;
   topk::WallTimer wall;
   const u64 n = v.size();
@@ -202,14 +236,21 @@ topk::TopkResult<K> dr_topk_from_delegates(
   // radix digit) applies — it is incompatible with a kappa_hook: the hook
   // is a collective exchange that every rank performs exactly once, and
   // the relaxation guard below may recompute.
+  const bool ext_kappa = ds && ds->have_kappa;
   const bool small_first =
-      cfg.small_input_shared && cfg.first_algo == topk::Algo::kRadixFlag &&
+      !ext_kappa && cfg.small_input_shared &&
+      cfg.first_algo == topk::Algo::kRadixFlag &&
       topk::small_topk_fits<K>(dev.profile(), dkeys.size());
   const bool relax =
-      !small_first && cfg.skip_last_first_iter && beta > 1 &&
+      !ext_kappa && !small_first && cfg.skip_last_first_iter && beta > 1 &&
       !cfg.kappa_hook && cfg.first_algo == topk::Algo::kRadixFlag;
   K kappa;
-  if (small_first) {
+  if (ext_kappa) {
+    // Stage 2 already resolved externally — one batched launch covered the
+    // whole admission group's thresholds. The value is exact, so the
+    // relaxation guard below never applies.
+    kappa = ds->kappa;
+  } else if (small_first) {
     Accum a2(dev);
     kappa = topk::small_topk_shared(a2, dkeys, k, /*selection_only=*/true)
                 .kth;
@@ -237,6 +278,11 @@ topk::TopkResult<K> dr_topk_from_delegates(
   std::span<K> cand;
   u64 cand_count = 0;
   std::span<u64> ccount(&cand_count, 1);
+  // Candidate storage: the caller's arena when deferral is in play (the
+  // span must outlive this call), the call's workspace otherwise.
+  const auto cand_alloc = [&](u64 cap) {
+    return ds && ds->alloc_cand ? ds->alloc_cand(cap) : ws.alloc<K>(cap);
+  };
 
   // The legacy path needs the sid tags; a delegate vector built without
   // them (emit_sids=false) can only run fused — degrade gracefully rather
@@ -282,7 +328,7 @@ topk::TopkResult<K> dr_topk_from_delegates(
       if (tail_len < len && tail_real > 0 && cls.taken[S - 1] == tail_real)
         qual_len -= len - tail_len;
     }
-    cand = ws.alloc<K>(partial_total + qual_len);
+    cand = cand_alloc(partial_total + qual_len);
     concat_candidates_fused(a3, v, dkeys, beta, dv.alpha, kappa,
                             cfg.filtering,
                             std::span<const u32>(cls.qualified.data(),
@@ -344,7 +390,7 @@ topk::TopkResult<K> dr_topk_from_delegates(
         break;
       }
     }
-    cand = ws.alloc<K>(partial_total + qual_len);
+    cand = cand_alloc(partial_total + qual_len);
 
     // Phase B1: partial subranges contribute their taken delegates
     // (full delegate re-scan, one atomic + divergent stores per subrange).
@@ -383,11 +429,22 @@ topk::TopkResult<K> dr_topk_from_delegates(
   // ---- Stage 4: second top-k (skipped entirely when Rule 3 leaves the
   // taken delegates as the exact answer — Figure 8b) ----
   bd.second_skipped = (q_count == 0 && bd.taken_delegates == k);
+  // Deferral requires caller-owned candidate storage: without alloc_cand
+  // the span lives in this call's scratch scope and would dangle.
+  if (ds)
+    ds->deferred =
+        ds->defer && static_cast<bool>(ds->alloc_cand) && !bd.second_skipped;
   const bool small_second =
       !bd.second_skipped && cfg.small_input_shared &&
       cfg.second_algo == topk::Algo::kRadixFlag &&
       topk::small_topk_fits<K>(dev.profile(), cand_count);
-  if (bd.second_skipped) {
+  if (ds && ds->deferred) {
+    // Deferred finalization: hand the candidates back. The caller owns the
+    // second top-k (typically one batched launch covering a whole admission
+    // group) and the arena the span lives in; keys/kth are left empty.
+    ds->cand = std::span<const K>(cand.data(), cand_count);
+    ds->cand_count = cand_count;
+  } else if (bd.second_skipped) {
     result.keys.assign(cand.begin(), cand.begin() + static_cast<i64>(k));
     std::sort(result.keys.begin(), result.keys.end(), std::greater<>());
     if (cfg.selection_only) result.keys = {result.keys.back()};
@@ -415,7 +472,7 @@ topk::TopkResult<K> dr_topk_from_delegates(
     bd.second_stats = sr.stats;
     result.keys = std::move(sr.keys);
   }
-  result.kth = result.keys.back();
+  if (!result.keys.empty()) result.kth = result.keys.back();
   result.stats = bd.total_stats();
   result.sim_ms = bd.total_ms();
   result.wall_ms = wall.ms();

@@ -57,6 +57,7 @@ struct CachedPlan {
   /// workspaces presize from these on a hit, so a recurring shape never
   /// grows an arena mid-query.
   u64 group_ws_bytes = 0;  ///< shared construction (delegate vector, keys)
+                           ///< plus the group's deferred candidate spans
   u64 exec_ws_bytes = 0;   ///< per-query stages 2-4 scratch
 };
 

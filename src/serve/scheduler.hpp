@@ -24,6 +24,7 @@
 // reached — backpressure toward the client instead of unbounded memory.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -40,6 +41,19 @@ struct Pending {
   Query query;
   std::promise<QueryResult> promise;
   topk::WallTimer admitted;  ///< wall-clock from admission to completion
+};
+
+/// A phase-A output parked for batched group finalization: the query's
+/// stages 2-3 ran (its candidate span lives in the group's arena); stage 4
+/// runs once for the whole group, fulfilling every parked promise.
+template <class K>
+struct DeferredItem {
+  Pending* item = nullptr;
+  QueryResult out;          ///< partial result: latency/breakdown to stage 3
+  std::span<const K> cand;  ///< candidate span (group-arena memory)
+  u64 k = 0;
+  data::Criterion criterion = data::Criterion::kLargest;
+  bool selection_only = false;
 };
 
 /// One admission group: compatible queries plus the shared execution state
@@ -86,6 +100,21 @@ struct Group {
   double setup_sim_ms = 0.0;  ///< construction + key conversion, shared by
                               ///< the whole group (amortized into latency)
   core::StageBreakdown setup_stages;
+
+  // --- Batched second-stage selection (PR 3) ---
+  /// Exact stage-2 thresholds resolved by the setup's batched launch over
+  /// the shared delegate vector, one per distinct feasible k of the setup
+  /// snapshot (parallel arrays; values carried as u64 regardless of width).
+  std::vector<u64> kappa_ks;
+  std::vector<u64> kappa_vals;
+  /// Guards the deferred lists, the executed counter and group-arena
+  /// candidate allocations (executors park phase-A results concurrently).
+  std::mutex batch_mu;
+  u64 executed = 0;     ///< items whose phase A (or full pipeline) finished
+  u64 final_items = 0;  ///< items.size() frozen when admission closed
+  std::atomic<bool> closed{false};  ///< fully claimed; final_items is valid
+  std::vector<DeferredItem<u32>> def32;
+  std::vector<DeferredItem<u64>> def64;
 
   bool compatible(const Query& q) const {
     return q.data_id() == data_id && q.n() == n && q.width() == width &&
@@ -171,8 +200,13 @@ class AdmissionQueue {
           out.item = &g.items[index];
           out.amortize_over = index < g.setup_items ? g.setup_items : 0;
           out.needs_setup = false;
-          // Fully claimed: leave the queue (which also ends admission).
-          if (g.next == g.items.size()) queue_.erase(it);
+          // Fully claimed: leave the queue (which also ends admission, so
+          // the item count is final — the batched finalizer keys off it).
+          if (g.next == g.items.size()) {
+            g.final_items = g.items.size();
+            g.closed.store(true, std::memory_order_release);
+            queue_.erase(it);
+          }
           return true;
         }
       }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "topk/batched.hpp"
+
 namespace drtopk::serve {
 
 namespace {
@@ -38,6 +40,17 @@ std::span<const u32>& group_keys<u32>(Group& g) {
 template <>
 std::span<const u64>& group_keys<u64>(Group& g) {
   return g.keys64;
+}
+
+template <class K>
+std::vector<DeferredItem<K>>& group_deferred(Group& g);
+template <>
+std::vector<DeferredItem<u32>>& group_deferred<u32>(Group& g) {
+  return g.def32;
+}
+template <>
+std::vector<DeferredItem<u64>>& group_deferred<u64>(Group& g) {
+  return g.def64;
 }
 
 }  // namespace
@@ -118,6 +131,11 @@ void TopkServer::executor_loop(u32 executor_id) {
       queue_.publish(c.group);
     } else {
       execute_item(*c.group, *c.item, c.amortize_over, executor_id);
+      // Group-completion bookkeeping (and, for the executor completing the
+      // last item, the batched finalization of every parked query) happens
+      // before the in-flight slot is released, so drain() cannot observe a
+      // drained queue with unfulfilled promises.
+      maybe_finalize_group(*c.group, executor_id);
       queue_.finish_item(c.group);
     }
     c.group.reset();
@@ -201,7 +219,9 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
   planned.alpha = g.plan.alpha;
   const int alpha = core::resolve_alpha(g.n, kmax, beta, planned);
   if (alpha >= 0) {
-    g.ws = group_ws_.acquire(group_ws_reserve);
+    // Affinity: prefer the pooled arena this executor last returned
+    // (first-touch locality groundwork for NUMA pinning).
+    g.ws = group_ws_.acquire(group_ws_reserve, executor_id);
     g.ws->reset_peak();  // measure THIS shape's construction footprint
     topk::Accum acc(dev_);
     std::span<const Key> keyspan;
@@ -224,6 +244,45 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
     g.setup_stages.construct_ms = acc.sim_ms();
     g.setup_stages.construct_stats = acc.stats();
     executor_work += acc.sim_ms();
+
+    // Batched stage 2: ONE launch resolves the exact threshold kappa for
+    // every distinct feasible k of the setup snapshot. All segments view
+    // the same delegate vector, so the batched engine sorts it once and
+    // emits each k's k-th key — N same-corpus selections for the price of
+    // one sort. Per-query execution then skips its own first top-k.
+    // Same gate as run_item_typed's deferral: if no member will consume
+    // the batched kappas, don't pay the launch.
+    if (batched_eligible(core::apply_plan(cfg_.base, g.plan))) {
+      // Exactly the ks the per-item path will serve from the shared
+      // delegate vector (run_item_typed's fused condition).
+      std::vector<u64> ks;
+      for (const u64 k : g.setup_ks) {
+        if (k > group_dv<Key>(g).size()) continue;
+        if (std::find(ks.begin(), ks.end(), k) == ks.end()) ks.push_back(k);
+      }
+      if (!ks.empty()) {
+        const auto& dvk = group_dv<Key>(g).keys;
+        std::span<const Key> dkeys(dvk.data(), dvk.size());
+        std::vector<topk::BatchedSegment<Key>> segs;
+        segs.reserve(ks.size());
+        for (const u64 k : ks)
+          segs.push_back({dkeys, k, k, /*selection_only=*/true});
+        topk::Accum acc2(dev_);
+        auto br = topk::batched_topk<Key>(
+            acc2, std::span<const topk::BatchedSegment<Key>>(segs),
+            topk::BatchedMode::kAuto, ews);
+        for (size_t i = 0; i < ks.size(); ++i) {
+          g.kappa_ks.push_back(ks[i]);
+          g.kappa_vals.push_back(static_cast<u64>(br.keys[i][0]));
+        }
+        // The group paid its members' first top-k here: amortized into
+        // their latencies with the construction pass.
+        g.setup_sim_ms += acc2.sim_ms();
+        g.setup_stages.first_ms = acc2.sim_ms();
+        g.setup_stages.first_stats = acc2.stats();
+        executor_work += acc2.sim_ms();
+      }
+    }
     plans_.note_workspace(g.plan_key, g.ws->peak_bytes(), 0);
   }
   collector_.record_executor_work(executor_id, executor_work);
@@ -231,36 +290,131 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
 
 void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
                               u32 executor_id) {
+  bool deferred = false;
   try {
     vgpu::Workspace& ws = *exec_ws_[executor_id];
     if (g.plan_exec_ws) ws.reserve_bytes(g.plan_exec_ws);
     ws.reset_peak();  // per-query footprint, not this arena's lifetime peak
-    QueryResult r = g.width == KeyWidth::k64
-                        ? run_item_typed<u64>(g, p, amortize_over, ws)
-                        : run_item_typed<u32>(g, p, amortize_over, ws);
+    QueryResult r =
+        g.width == KeyWidth::k64
+            ? run_item_typed<u64>(g, p, amortize_over, ws, &deferred)
+            : run_item_typed<u32>(g, p, amortize_over, ws, &deferred);
     if (g.plan_resolved)
       plans_.note_workspace(g.plan_key, 0, ws.peak_bytes());
-    collector_.record_query(r.latency_sim_ms, r.breakdown, r.fused);
     // Work actually performed here: a fused item's breakdown holds only its
     // stages 2-4 (the group's construction was charged at setup); an
-    // unfused item's latency is exactly its own full pipeline.
+    // unfused item's latency is exactly its own full pipeline. A deferred
+    // item parked its result — its stage-4 share is charged to whichever
+    // executor finalizes the group.
     collector_.record_executor_work(
         executor_id, r.fused ? r.breakdown.total_ms() : r.latency_sim_ms);
-    p.promise.set_value(std::move(r));
+    if (!deferred) {
+      collector_.record_query(r.latency_sim_ms, r.breakdown, r.fused);
+      p.promise.set_value(std::move(r));
+    }
   } catch (...) {
-    collector_.record_failure();
-    p.promise.set_exception(std::current_exception());
+    // Once the item is parked its promise belongs to the group finalizer —
+    // a throw from the post-parking bookkeeping must not double-set it.
+    if (!deferred) {
+      collector_.record_failure();
+      p.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void TopkServer::maybe_finalize_group(Group& g, u32 executor_id) {
+  bool finalize = false;
+  {
+    std::lock_guard lk(g.batch_mu);
+    ++g.executed;
+    // Admission closed (final_items frozen) and every item's phase A done:
+    // the group is complete. Exactly one executor observes the transition.
+    finalize = g.closed.load(std::memory_order_acquire) &&
+               g.executed == g.final_items &&
+               (!g.def32.empty() || !g.def64.empty());
+  }
+  if (!finalize) return;
+  try {
+    if (g.width == KeyWidth::k64) {
+      finalize_group_typed<u64>(g, executor_id);
+    } else {
+      finalize_group_typed<u32>(g, executor_id);
+    }
+  } catch (...) {
+    // Fail every parked query that was not yet fulfilled (the finalizer
+    // nulls item as it delivers each result, so a mid-loop throw cannot
+    // lead to a double set that would itself throw out of this handler).
+    auto fail = [&](auto& parked) {
+      for (auto& d : parked) {
+        if (!d.item) continue;
+        collector_.record_failure();
+        d.item->promise.set_exception(std::current_exception());
+        d.item = nullptr;
+      }
+    };
+    fail(g.def32);
+    fail(g.def64);
+  }
+}
+
+template <class T>
+void TopkServer::finalize_group_typed(Group& g, u32 executor_id) {
+  using Key = typename data::KeyTraits<T>::Key;
+  auto& parked = group_deferred<Key>(g);
+  // No synchronization needed past this point: every item executed, so no
+  // thread appends to the list or allocates from the group arena anymore.
+  std::vector<topk::BatchedSegment<Key>> segs;
+  segs.reserve(parked.size());
+  for (const auto& d : parked)
+    segs.push_back({d.cand, d.k, d.out.id, d.selection_only});
+
+  vgpu::Workspace& ws = *exec_ws_[executor_id];
+  vgpu::Workspace::Scope scope(ws);
+  topk::Accum acc(dev_);
+  auto br = topk::batched_topk<Key>(
+      acc, std::span<const topk::BatchedSegment<Key>>(segs),
+      topk::BatchedMode::kAuto, ws);
+
+  // Group-level accounting first: every counter must be recorded before
+  // the last promise is fulfilled, or a stats() snapshot taken right after
+  // the batch completes could miss this group's finalization.
+  collector_.record_finalize(br.launches, parked.size(), acc.stats());
+  collector_.record_executor_work(executor_id, acc.sim_ms());
+  // Re-record the group arena's peak now that it holds the deferred
+  // candidate spans: the next hit on this shape presizes for them too.
+  if (g.plan_resolved)
+    plans_.note_workspace(g.plan_key, g.ws ? g.ws->peak_bytes() : 0, 0);
+
+  // One launch served the whole group; each query's latency carries its
+  // share (the kernel counters were recorded once at group level above).
+  const double share = acc.sim_ms() / static_cast<double>(parked.size());
+  for (size_t i = 0; i < parked.size(); ++i) {
+    auto& d = parked[i];
+    d.out.values.reserve(br.keys[i].size());
+    for (const Key key : br.keys[i])
+      d.out.values.push_back(static_cast<u64>(
+          data::value_from_directed_key<T>(key, d.criterion)));
+    d.out.kth = d.out.values.back();
+    d.out.latency_sim_ms += share;
+    d.out.breakdown.second_ms = share;
+    d.out.wall_ms = d.item->admitted.ms();
+    collector_.record_query(d.out.latency_sim_ms, d.out.breakdown,
+                            d.out.fused);
+    Pending* item = d.item;
+    d.item = nullptr;  // fulfilled: the failure path must not touch it again
+    item->promise.set_value(std::move(d.out));
   }
 }
 
 template <class T>
 QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
-                                       vgpu::Workspace& ws) {
+                                       vgpu::Workspace& ws, bool* deferred) {
   using Key = typename data::KeyTraits<T>::Key;
   const Query& q = p.query;
   QueryResult out;
   out.id = p.id;
   out.plan_cache_hit = g.plan_resolved && g.plan_hit;
+  *deferred = false;
 
   // A resolved plan accelerates both paths: fused execution replays its
   // alpha/beta via the shared delegate vector, and the unfused fallback
@@ -281,27 +435,66 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
     std::span<const Key> keyspan = g.keys_materialized
                                        ? group_keys<Key>(g)
                                        : std::span<const Key>(values);
+    // Batched second-stage selection: replay the setup's exact kappa (one
+    // batched launch covered the group), allocate the candidate span from
+    // the group arena so it outlives this call, and defer stage 4 — the
+    // group's last finisher selects for everyone in a single launch.
+    // Gated on the default engine so plan-probed engine choices (and the
+    // per-query baseline) stay measurable.
+    core::DeferredSecond<Key> dsec;
+    core::DeferredSecond<Key>* dsp = nullptr;
+    if (batched_eligible(cfg)) {
+      for (size_t i = 0; i < g.kappa_ks.size(); ++i) {
+        if (g.kappa_ks[i] == q.k) {
+          dsec.have_kappa = true;
+          dsec.kappa = static_cast<Key>(g.kappa_vals[i]);
+          break;
+        }
+      }
+      dsec.alloc_cand = [&g](u64 cap) {
+        std::lock_guard lk(g.batch_mu);
+        return g.ws->alloc<Key>(cap);
+      };
+      dsp = &dsec;
+    }
     auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
                                                group_dv<Key>(g), cfg, &bd,
-                                               ws);
+                                               ws, dsp);
     // "Fused" means construction was genuinely shared: either the setup
     // covered several queries, or this is a late joiner riding a pass that
     // others paid for. A singleton group paid full freight — not fused.
     out.fused = g.setup_items > 1 || amortize_over == 0;
+    // Latency: this query's stages plus its share of the group's single
+    // construction (+ batched first top-k) pass. Late joiners
+    // (amortize_over == 0) ride passes that were already paid for, so the
+    // shares across a group sum to exactly the cost charged once at setup.
+    out.latency_sim_ms = r.sim_ms;
+    if (amortize_over > 0)
+      out.latency_sim_ms +=
+          g.setup_sim_ms / static_cast<double>(amortize_over);
+    if (dsp && dsec.deferred) {
+      // Park the phase-A result; values/kth arrive at group finalization.
+      out.breakdown = bd;
+      DeferredItem<Key> d;
+      d.item = &p;
+      d.out = out;
+      d.cand = dsec.cand;
+      d.k = q.k;
+      d.criterion = q.criterion;
+      d.selection_only = q.selection_only;
+      {
+        std::lock_guard lk(g.batch_mu);
+        group_deferred<Key>(g).push_back(std::move(d));
+      }
+      *deferred = true;
+      return out;
+    }
     out.values.reserve(r.keys.size());
     for (const Key key : r.keys)
       out.values.push_back(static_cast<u64>(
           data::value_from_directed_key<T>(key, q.criterion)));
     out.kth = static_cast<u64>(
         data::value_from_directed_key<T>(r.kth, q.criterion));
-    // Latency: this query's stages plus its share of the group's single
-    // construction pass. Late joiners (amortize_over == 0) ride a pass that
-    // was already paid for, so the shares across a group sum to exactly the
-    // construction cost charged once at setup.
-    out.latency_sim_ms = r.sim_ms;
-    if (amortize_over > 0)
-      out.latency_sim_ms +=
-          g.setup_sim_ms / static_cast<double>(amortize_over);
   } else {
     // Unfused fallback: delegation infeasible for this shape (or setup
     // degraded); the full single-query pipeline, still plan-accelerated

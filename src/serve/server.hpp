@@ -39,6 +39,15 @@ struct ServerConfig {
   core::DrTopkConfig base; ///< baseline pipeline configuration
   bool use_plan_cache = true;
   PlanCache::Options plan;
+  /// Batched second-stage selection (PR 3): group setup resolves every
+  /// member's stage-2 threshold with one batched launch over the shared
+  /// delegate vector; per-query execution defers stage 4 and parks its
+  /// candidate span in the group arena; and the executor completing the
+  /// group's last query selects top-k for ALL parked queries in a single
+  /// launch (topk/batched.hpp) — one second-top-k launch per admission
+  /// group instead of one per query. `false` replays the PR-2 per-query
+  /// hot path, kept as the measurable baseline.
+  bool batched_select = true;
 };
 
 class TopkServer {
@@ -79,11 +88,26 @@ class TopkServer {
   void executor_loop(u32 executor_id);
   void setup_group(Group& g, u32 executor_id);
   void execute_item(Group& g, Pending& p, u64 amortize_over, u32 executor_id);
+  /// Marks one item executed; the executor whose item completes the group
+  /// runs the batched finalization for every parked (deferred) query.
+  void maybe_finalize_group(Group& g, u32 executor_id);
+  /// THE batched-selection eligibility gate — one predicate shared by the
+  /// group setup (does a batched kappa launch pay off?) and per-item
+  /// execution (may this query defer its stage 4?), so the two sites
+  /// cannot silently desynchronize. `cfg` must be the plan-applied config
+  /// the queries will actually run with.
+  bool batched_eligible(const core::DrTopkConfig& cfg) const {
+    return cfg_.batched_select && !cfg.kappa_hook &&
+           cfg.first_algo == topk::Algo::kRadixFlag &&
+           cfg.second_algo == topk::Algo::kRadixFlag;
+  }
   template <class T>
   void setup_group_typed(Group& g, u32 executor_id);
   template <class T>
   QueryResult run_item_typed(Group& g, Pending& p, u64 amortize_over,
-                             vgpu::Workspace& ws);
+                             vgpu::Workspace& ws, bool* deferred);
+  template <class T>
+  void finalize_group_typed(Group& g, u32 executor_id);
 
   vgpu::Device& dev_;
   ServerConfig cfg_;

@@ -23,6 +23,12 @@ struct ServerStats {
   u64 fused_queries = 0;  ///< queries served from a group-shared delegate
   u64 plan_hits = 0;      ///< plan-cache lookups that skipped tuning
   u64 plan_misses = 0;    ///< lookups that paid calibration probes
+  u64 batched_groups = 0;   ///< groups finalized with a batched second top-k
+  u64 batched_queries = 0;  ///< queries whose stage 4 ran inside a group batch
+  u64 finalize_launches = 0;  ///< selection launches spent finalizing groups:
+                              ///< exactly one per group when the candidate
+                              ///< segments fit one SM (the asserted common
+                              ///< case), two when the multi-CTA path runs
 
   double total_sim_ms = 0.0;     ///< summed per-query simulated latency
   double calibration_sim_ms = 0.0;  ///< plan-cache probe work (cold starts)
@@ -88,6 +94,19 @@ class StatsCollector {
     stages_ += setup_stages;
   }
 
+  /// One batched group finalization: `launches` selection launches served
+  /// `queries` deferred queries. The kernel counters land in the aggregate
+  /// second-stage stats once (per-query breakdowns carry only their sim-ms
+  /// share, so the aggregate stays double-count-free).
+  void record_finalize(u64 launches, u64 queries,
+                       const vgpu::KernelStats& second_stats) {
+    std::lock_guard lk(mu_);
+    ++batched_groups_;
+    batched_queries_ += queries;
+    finalize_launches_ += launches;
+    stages_.second_stats += second_stats;
+  }
+
   /// One-time plan-calibration probe work (not part of any query's
   /// latency, but part of some executor's makespan).
   void record_calibration(double sim_ms) {
@@ -115,6 +134,9 @@ class StatsCollector {
       s.failed = failed_;
       s.groups = groups_;
       s.fused_queries = fused_queries_;
+      s.batched_groups = batched_groups_;
+      s.batched_queries = batched_queries_;
+      s.finalize_launches = finalize_launches_;
       s.total_sim_ms = total_sim_ms_;
       s.calibration_sim_ms = calibration_sim_ms_;
       s.stages = stages_;
@@ -146,6 +168,9 @@ class StatsCollector {
   u64 failed_ = 0;
   u64 groups_ = 0;
   u64 fused_queries_ = 0;
+  u64 batched_groups_ = 0;
+  u64 batched_queries_ = 0;
+  u64 finalize_launches_ = 0;
 };
 
 }  // namespace drtopk::serve

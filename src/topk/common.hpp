@@ -38,6 +38,13 @@ class Accum {
     sim_ms_ += dev_->sim_ms(s);
   }
 
+  /// Record an already-priced multi-kernel snapshot (e.g. a nested engine
+  /// run whose per-kernel sim times were summed precisely).
+  void add(const vgpu::KernelStats& s, double sim_ms) {
+    stats_ += s;
+    sim_ms_ += sim_ms;
+  }
+
   /// Launch-and-record convenience.
   template <class F>
   void launch(const vgpu::Launch& cfg, F&& fn) {

@@ -24,11 +24,19 @@
 
 namespace drtopk::topk {
 
+/// Elements of key type K that fit one CTA's shared-memory staging on `p`
+/// — the single source of the one-SM capacity bound (topk/batched.hpp's
+/// classification uses the same constant, so the two gates move together).
+template <class K>
+u64 small_topk_cap(const vgpu::GpuProfile& p) {
+  return p.shared_bytes_per_sm / sizeof(K);
+}
+
 /// True when an n-element input of key type K fits the single-CTA
 /// shared-memory path on `p`.
 template <class K>
 bool small_topk_fits(const vgpu::GpuProfile& p, u64 n) {
-  return n > 0 && n * sizeof(K) <= p.shared_bytes_per_sm;
+  return n > 0 && n <= small_topk_cap<K>(p);
 }
 
 /// One-launch top-k of a small input. Returns exactly k keys sorted

@@ -94,66 +94,77 @@ class Warp {
 
   /// Warp-coalesced load of `active` consecutive elements starting at base;
   /// lane l receives v[base + l]. Inactive lanes get value-initialized T.
+  /// The full-warp case runs a constant-trip-count copy with no per-lane
+  /// branches so it auto-vectorizes (the accounting is hoisted in front).
   template <class T>
   LaneArray<T> load_coalesced(std::span<const T> v, u64 base,
                               u32 active = kWarpSize) {
     assert(active <= kWarpSize && base + active <= v.size());
     charge_coalesced_load<T>(active);
-    LaneArray<T> out{};
-    for (u32 l = 0; l < active; ++l) out[l] = v[base + l];
+    const T* src = v.data() + base;
+    LaneArray<T> out;
+    if (active == kWarpSize) {
+      for (u32 l = 0; l < kWarpSize; ++l) out[l] = src[l];
+    } else {
+      out = LaneArray<T>{};
+      for (u32 l = 0; l < active; ++l) out[l] = src[l];
+    }
     return out;
   }
 
-  /// Warp-coalesced store of `active` consecutive elements.
+  /// Warp-coalesced store of `active` consecutive elements. Full-warp fast
+  /// path as in load_coalesced.
   template <class T>
   void store_coalesced(std::span<T> v, u64 base, const LaneArray<T>& x,
                        u32 active = kWarpSize) {
     assert(active <= kWarpSize && base + active <= v.size());
     charge_coalesced_store<T>(active);
-    for (u32 l = 0; l < active; ++l) v[base + l] = x[l];
+    T* dst = v.data() + base;
+    if (active == kWarpSize) {
+      for (u32 l = 0; l < kWarpSize; ++l) dst[l] = x[l];
+    } else {
+      for (u32 l = 0; l < active; ++l) dst[l] = x[l];
+    }
   }
 
   /// Streams [begin, begin+len) through the warp in coalesced 32-element
   /// chunks; calls f(lane, value) for every element. This is the canonical
   /// "each thread strides through the subrange" pattern of the paper's
   /// warp-centric delegate construction.
+  ///
+  /// Hot-loop structure: the accounting (element/byte/transaction totals)
+  /// is in closed form and hoisted out entirely, and the full 32-element
+  /// chunks run with a constant trip count and no branches — an inlined f
+  /// over the contiguous slice auto-vectorizes. The ragged tail is handled
+  /// once at the end.
   template <class T, class F>
   void scan_coalesced(std::span<const T> v, u64 begin, u64 len, F&& f) {
+    assert(begin + len <= v.size());
+    const u64 full = len / kWarpSize;
+    const u32 tail = static_cast<u32>(len % kWarpSize);
+    const T* p = v.data();
     u64 pos = begin;
-    const u64 end = begin + len;
-    assert(end <= v.size());
-    // Batched accounting: totals are accumulated in registers across the
-    // whole scan and flushed with three adds, instead of three counter
-    // bumps per 32-element chunk.
-    u64 txns = 0;
-    while (pos < end) {
-      const u32 active = static_cast<u32>(std::min<u64>(kWarpSize, end - pos));
-      txns += detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
-      for (u32 l = 0; l < active; ++l) f(l, v[pos + l]);
-      pos += active;
+    for (u64 c = 0; c < full; ++c, pos += kWarpSize) {
+      for (u32 l = 0; l < kWarpSize; ++l) f(l, p[pos + l]);
     }
-    local_.global_load_elems += len;
-    local_.global_load_bytes += len * sizeof(T);
-    local_.global_load_txns += txns;
+    for (u32 l = 0; l < tail; ++l) f(l, p[pos + l]);
+    charge_scan<T>(len, full, tail);
   }
 
   /// Like scan_coalesced but also passes the element index:
   /// f(lane, value, index).
   template <class T, class F>
   void scan_coalesced_idx(std::span<const T> v, u64 begin, u64 len, F&& f) {
+    assert(begin + len <= v.size());
+    const u64 full = len / kWarpSize;
+    const u32 tail = static_cast<u32>(len % kWarpSize);
+    const T* p = v.data();
     u64 pos = begin;
-    const u64 end = begin + len;
-    assert(end <= v.size());
-    u64 txns = 0;  // batched like scan_coalesced
-    while (pos < end) {
-      const u32 active = static_cast<u32>(std::min<u64>(kWarpSize, end - pos));
-      txns += detail::coalesced_txns(static_cast<u64>(active) * sizeof(T));
-      for (u32 l = 0; l < active; ++l) f(l, v[pos + l], pos + l);
-      pos += active;
+    for (u64 c = 0; c < full; ++c, pos += kWarpSize) {
+      for (u32 l = 0; l < kWarpSize; ++l) f(l, p[pos + l], pos + l);
     }
-    local_.global_load_elems += len;
-    local_.global_load_bytes += len * sizeof(T);
-    local_.global_load_txns += txns;
+    for (u32 l = 0; l < tail; ++l) f(l, p[pos + l], pos + l);
+    charge_scan<T>(len, full, tail);
   }
 
   /// Scattered warp store: lane l (if bit l of mask set) writes val[l] to
@@ -267,6 +278,19 @@ class Warp {
   }
 
  private:
+  /// Closed-form accounting for a coalesced scan of `len` elements in
+  /// `full` whole-warp chunks plus a `tail`-lane chunk: three counter adds
+  /// total, none inside the scan loop.
+  template <class T>
+  void charge_scan(u64 len, u64 full, u32 tail) {
+    local_.global_load_elems += len;
+    local_.global_load_bytes += len * sizeof(T);
+    local_.global_load_txns +=
+        full * detail::coalesced_txns(u64{kWarpSize} * sizeof(T)) +
+        (tail ? detail::coalesced_txns(static_cast<u64>(tail) * sizeof(T))
+              : 0);
+  }
+
   template <class T>
   void charge_coalesced_load(u32 active) {
     local_.global_load_elems += active;

@@ -1,0 +1,284 @@
+// Tests for the batched multi-segment selection engine (topk/batched.hpp)
+// and the deferred-finalization seam of the core pipeline: batched-vs-
+// per-query parity across distributions, alpha/beta, k values and ragged
+// segment widths (empty and k > width included), the two-level multi-CTA
+// merge path, the same-corpus sort sharing, and launch-count budgets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dr_topk.hpp"
+#include "data/distributions.hpp"
+#include "topk/batched.hpp"
+
+namespace drtopk::topk {
+namespace {
+
+using data::Distribution;
+
+vgpu::Device& shared_device() {
+  static vgpu::Device dev(vgpu::GpuProfile::v100s());
+  return dev;
+}
+
+template <class K>
+void expect_segment_exact(const BatchedSegment<K>& sg,
+                          const std::vector<K>& got, const char* what) {
+  const u64 keff = std::min(sg.k, sg.data.size());
+  if (keff == 0) {
+    EXPECT_TRUE(got.empty()) << what;
+    return;
+  }
+  const auto expect = reference_topk(sg.data, keff);
+  if (sg.selection_only) {
+    ASSERT_EQ(got.size(), 1u) << what;
+    EXPECT_EQ(got[0], expect.back()) << what;
+  } else {
+    EXPECT_EQ(got, expect) << what;
+  }
+}
+
+TEST(Batched, ParityAcrossDistributionsAndRaggedWidths) {
+  // Segments of wildly different widths — empty, sub-warp, k > width, a
+  // few thousand — over every distribution, mixed full-top-k and
+  // selection-only, all selected in one batch.
+  std::vector<vgpu::device_vector<u32>> corpora;
+  for (auto d : {Distribution::kUniform, Distribution::kNormal,
+                 Distribution::kCustomized})
+    corpora.push_back(data::generate(5000, d, 7 + corpora.size()));
+
+  std::vector<BatchedSegment<u32>> segs;
+  u64 tag = 0;
+  for (const auto& c : corpora) {
+    std::span<const u32> cs(c.data(), c.size());
+    for (const u64 width : {u64{0}, u64{1}, u64{5}, u64{31}, u64{33},
+                            u64{100}, u64{1000}, u64{5000}}) {
+      for (const u64 k : {u64{1}, u64{3}, u64{32}, u64{150}}) {
+        segs.push_back({cs.subspan(0, width), k, tag, (tag % 3) == 0});
+        ++tag;
+      }
+    }
+  }
+
+  Accum acc(shared_device());
+  auto r = batched_topk<u32>(acc, segs);
+  ASSERT_EQ(r.keys.size(), segs.size());
+  for (size_t i = 0; i < segs.size(); ++i)
+    expect_segment_exact(segs[i], r.keys[i], "ragged parity");
+  // All widths fit one SM: a single selection launch covered everything.
+  EXPECT_EQ(r.launches, 1u);
+  EXPECT_EQ(r.multi_cta, 0u);
+  EXPECT_EQ(r.fallback, 0u);
+}
+
+TEST(Batched, SameCorpusSegmentsShareOneSort) {
+  // N selections over one span (the serving group's stage-2 shape): one
+  // problem, one sort, N emissions.
+  auto v = data::generate(4096, Distribution::kUniform, 21);
+  std::span<const u32> vs(v.data(), v.size());
+  std::vector<BatchedSegment<u32>> segs;
+  for (const u64 k : {u64{1}, u64{8}, u64{64}, u64{512}, u64{512}})
+    segs.push_back({vs, k, k, /*selection_only=*/true});
+
+  Accum acc(shared_device());
+  auto r = batched_topk<u32>(acc, segs);
+  EXPECT_EQ(r.shared_sorts, segs.size() - 1);
+  EXPECT_EQ(r.single_cta, 1u);
+  EXPECT_EQ(r.launches, 1u);
+  for (size_t i = 0; i < segs.size(); ++i)
+    expect_segment_exact(segs[i], r.keys[i], "shared sort");
+}
+
+TEST(Batched, MultiCtaMergePathLiftsTheSharedMemoryCap) {
+  const auto& prof = shared_device().profile();
+  const u64 cap = batched_single_cap<u32>(prof);
+  // ~3.5 slices worth of data: far beyond one SM's shared memory, well
+  // within the two-level budget for a small k.
+  const u64 n = cap * 3 + cap / 2;
+  auto v = data::generate(n, Distribution::kCustomized, 31);
+  std::span<const u32> vs(v.data(), v.size());
+  ASSERT_FALSE(small_topk_fits<u32>(prof, n));
+  ASSERT_TRUE(batched_multi_fits<u32>(prof, n, 1024));
+
+  std::vector<BatchedSegment<u32>> segs;
+  segs.push_back({vs, 1024, 0, false});
+  segs.push_back({vs, 100, 1, true});  // rides the same slices + merge
+
+  Accum acc(shared_device());
+  auto r = batched_topk<u32>(acc, segs);
+  EXPECT_EQ(r.multi_cta, 1u);
+  EXPECT_EQ(r.launches, 2u);  // slice sort + cross-CTA merge
+  for (size_t i = 0; i < segs.size(); ++i)
+    expect_segment_exact(segs[i], r.keys[i], "multi-CTA");
+}
+
+TEST(Batched, MixedSmallAndMultiCtaSegmentsStayTwoLaunches) {
+  const u64 cap = batched_single_cap<u32>(shared_device().profile());
+  auto big = data::generate(cap * 2 + 17, Distribution::kUniform, 41);
+  auto small = data::generate(2000, Distribution::kNormal, 42);
+  std::span<const u32> bs(big.data(), big.size());
+  std::span<const u32> ss(small.data(), small.size());
+
+  std::vector<BatchedSegment<u32>> segs;
+  segs.push_back({bs, 500, 0, false});
+  segs.push_back({ss, 64, 1, false});
+  segs.push_back({ss.subspan(0, 10), 10, 2, false});
+
+  Accum acc(shared_device());
+  auto r = batched_topk<u32>(acc, segs);
+  // The small segments' CTAs ride the multi-CTA segment's slice launch.
+  EXPECT_EQ(r.launches, 2u);
+  EXPECT_EQ(r.single_cta, 2u);
+  EXPECT_EQ(r.multi_cta, 1u);
+  for (size_t i = 0; i < segs.size(); ++i)
+    expect_segment_exact(segs[i], r.keys[i], "mixed batch");
+}
+
+TEST(Batched, FallbackWhenMergeSetOverflows) {
+  // k so large that the per-slice prefixes cannot fit one SM either: the
+  // engine must degrade to the per-segment engine and stay exact.
+  const u64 cap = batched_single_cap<u32>(shared_device().profile());
+  const u64 n = cap * 4;
+  auto v = data::generate(n, Distribution::kUniform, 51);
+  std::span<const u32> vs(v.data(), v.size());
+  ASSERT_FALSE(batched_multi_fits<u32>(shared_device().profile(), n, cap));
+
+  std::vector<BatchedSegment<u32>> segs;
+  segs.push_back({vs, cap, 0, false});
+  Accum acc(shared_device());
+  auto r = batched_topk<u32>(acc, segs);
+  EXPECT_EQ(r.fallback, 1u);
+  EXPECT_GT(r.launches, 1u);
+  expect_segment_exact(segs[0], r.keys[0], "fallback");
+}
+
+TEST(Batched, PerSegmentModeIsTheMeasurableBaseline) {
+  auto v = data::generate(3000, Distribution::kUniform, 61);
+  std::span<const u32> vs(v.data(), v.size());
+  std::vector<BatchedSegment<u32>> segs;
+  for (u64 i = 0; i < 4; ++i)
+    segs.push_back({vs.subspan(i * 700, 700), 50 + i, i, false});
+
+  Accum batched_acc(shared_device());
+  auto batched = batched_topk<u32>(batched_acc, segs);
+  Accum per_acc(shared_device());
+  auto per = batched_topk<u32>(per_acc, segs, BatchedMode::kPerSegment);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(batched.keys[i], per.keys[i]) << i;  // bit-identical paths
+  }
+  EXPECT_EQ(batched.launches, 1u);
+  EXPECT_GT(per.launches, batched.launches);
+  EXPECT_EQ(per.fallback, segs.size());
+}
+
+TEST(Batched, U64KeysAndLaneArrayPacking) {
+  std::vector<u64> v(20000);
+  for (u64 i = 0; i < v.size(); ++i) v[i] = data::rand_u64(71, i);
+  std::span<const u64> vs(v.data(), v.size());
+  std::vector<BatchedSegment<u64>> segs;
+  segs.push_back({vs, 333, 0, false});
+  segs.push_back({vs.subspan(100, 4000), 64, 1, true});
+
+  Accum acc(shared_device());
+  auto r = batched_topk<u64>(acc, segs);
+  for (size_t i = 0; i < segs.size(); ++i)
+    expect_segment_exact(segs[i], r.keys[i], "u64");
+}
+
+// ---------------------------------------------------------------------------
+// Deferred finalization through the core pipeline: dr_topk_from_delegates
+// stops after concatenation, the batched engine finalizes — results must be
+// bit-identical to the inline stage 4, across alpha/beta/k/distributions.
+// ---------------------------------------------------------------------------
+
+class DeferredParity
+    : public ::testing::TestWithParam<std::tuple<Distribution, int, u32>> {};
+
+TEST_P(DeferredParity, BatchedFinalizeMatchesInlineSecondTopk) {
+  const auto [dist, alpha, beta] = GetParam();
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, dist, 97);
+  std::span<const u32> vs(v.data(), v.size());
+  vgpu::Device& dev = shared_device();
+
+  core::DrTopkConfig cfg;
+  cfg.alpha = alpha;
+  cfg.beta = beta;
+
+  vgpu::Workspace ws;
+  vgpu::Workspace cand_ws;  // stands in for the serving group's arena
+  for (const u64 k : {u64{1}, u64{17}, u64{128}, u64{1024}}) {
+    vgpu::Workspace::Scope scope(ws);
+    topk::Accum acc(dev);
+    core::ConstructOpts copts;
+    copts.emit_sids = false;
+    auto dv = core::build_delegate_vector<u32>(acc, vs, alpha, beta, copts,
+                                               ws);
+    if (dv.size() < k) continue;
+
+    auto inline_r = core::dr_topk_from_delegates<u32>(dev, vs, k, dv, cfg,
+                                                      nullptr, ws);
+
+    core::DeferredSecond<u32> ds;
+    ds.alloc_cand = [&](u64 cap) { return cand_ws.alloc<u32>(cap); };
+    auto deferred_r = core::dr_topk_from_delegates<u32>(dev, vs, k, dv, cfg,
+                                                        nullptr, ws, &ds);
+    std::vector<u32> keys;
+    if (ds.deferred) {
+      EXPECT_TRUE(deferred_r.keys.empty());
+      EXPECT_GE(ds.cand_count, k);
+      BatchedSegment<u32> seg{ds.cand, k, 0, false};
+      Accum facc(dev);
+      auto br = batched_topk<u32>(
+          facc, std::span<const BatchedSegment<u32>>(&seg, 1));
+      keys = std::move(br.keys[0]);
+    } else {
+      keys = std::move(deferred_r.keys);  // Rule-3 fast path finished inline
+    }
+    EXPECT_EQ(keys, inline_r.keys) << "k=" << k;
+    cand_ws.reset();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DeferredParity,
+    ::testing::Combine(::testing::Values(Distribution::kUniform,
+                                         Distribution::kNormal,
+                                         Distribution::kCustomized),
+                       ::testing::Values(6, 10, 12),
+                       ::testing::Values(1u, 2u, 4u)));
+
+TEST(Deferred, ExternalKappaSkipsStageTwo) {
+  // An externally supplied exact threshold must zero out stage-2 work and
+  // keep the pipeline exact (the batched serving path's contract).
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 101);
+  std::span<const u32> vs(v.data(), v.size());
+  vgpu::Device& dev = shared_device();
+  const u64 k = 256;
+
+  vgpu::Workspace ws;
+  vgpu::Workspace::Scope scope(ws);
+  topk::Accum acc(dev);
+  core::ConstructOpts copts;
+  copts.emit_sids = false;
+  auto dv = core::build_delegate_vector<u32>(acc, vs, 9, 2, copts, ws);
+
+  std::span<const u32> dkeys(dv.keys.data(), dv.keys.size());
+  const u32 kappa = reference_topk(dkeys, k).back();
+
+  core::DeferredSecond<u32> ds;
+  ds.have_kappa = true;
+  ds.kappa = kappa;
+  ds.defer = false;  // kappa-only use: stage 4 runs inline
+  core::StageBreakdown bd;
+  auto r = core::dr_topk_from_delegates<u32>(dev, vs, k, dv, {}, &bd, ws,
+                                             &ds);
+  EXPECT_FALSE(ds.deferred);
+  EXPECT_EQ(bd.first_ms, 0.0);
+  EXPECT_EQ(bd.first_stats.kernels_launched, 0u);
+  EXPECT_EQ(r.keys, reference_topk(vs, k));
+}
+
+}  // namespace
+}  // namespace drtopk::topk

@@ -310,6 +310,108 @@ TEST(Serve, MixedKGroupKeepsFusionForFeasibleQueries) {
   EXPECT_EQ(server.stats().groups, 1u);
 }
 
+TEST(Serve, BatchedFinalizeOneSecondTopkLaunchPerWarmedGroup) {
+  // The launch-count regression test: a warmed server with batching enabled
+  // must perform exactly ONE second-top-k launch per admission group.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 103);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;  // deterministic grouping: one group per batch
+  cfg.batch_max = 8;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(Query::view(vs, 64 + 8 * i));
+
+  (void)server.run_batch(queries);  // warm: plans calibrate, arenas grow
+  const ServerStats warm = server.stats();
+  EXPECT_GE(warm.batched_groups, 1u);
+
+  const int rounds = 3;
+  for (int r = 0; r < rounds; ++r) {
+    auto results = server.run_batch(queries);
+    for (size_t i = 0; i < queries.size(); ++i)
+      ASSERT_EQ(results[i].values, widen(reference_topk(vs, queries[i].k)))
+          << i;
+  }
+  const ServerStats after = server.stats();
+  const u64 groups = after.groups - warm.groups;
+  EXPECT_EQ(groups, static_cast<u64>(rounds));
+  // Exactly one batched finalization — and one selection launch — per group.
+  EXPECT_EQ(after.batched_groups - warm.batched_groups, groups);
+  EXPECT_EQ(after.finalize_launches - warm.finalize_launches, groups);
+  // Every query of every warmed group rode the batch.
+  EXPECT_EQ(after.batched_queries - warm.batched_queries,
+            groups * queries.size());
+}
+
+TEST(Serve, BatchedAndPerQueryPathsAreBitIdentical) {
+  // The parity suite at server level: batched selection on vs off (the
+  // PR-2 per-query baseline) across distributions, widths, criteria and
+  // mixed k — identical answers, same group structure.
+  auto a = data::generate(1 << 15, Distribution::kUniform, 111);
+  auto b = data::generate((1 << 14) + 321, Distribution::kNormal, 112);
+  auto c = data::generate(1 << 14, Distribution::kCustomized, 113);
+  std::vector<u64> d(1 << 13);
+  for (u64 i = 0; i < d.size(); ++i) d[i] = data::rand_u64(114, i);
+  std::span<const u32> as(a.data(), a.size());
+  std::span<const u32> bs(b.data(), b.size());
+  std::span<const u32> cs(c.data(), c.size());
+  std::span<const u64> dsn(d.data(), d.size());
+
+  std::vector<Query> queries;
+  for (u64 k : {u64{1}, u64{33}, u64{512}}) {
+    queries.push_back(Query::view(as, k));
+    queries.push_back(Query::view(bs, k, Criterion::kSmallest));
+    queries.push_back(Query::view(cs, k, Criterion::kLargest,
+                                  /*selection_only=*/true));
+    queries.push_back(Query::view(dsn, k));
+  }
+
+  ServerConfig batched_cfg;
+  batched_cfg.executors = 3;
+  TopkServer batched(shared_device(), batched_cfg);
+  auto br = batched.run_batch(queries);
+
+  ServerConfig per_cfg;
+  per_cfg.executors = 3;
+  per_cfg.batched_select = false;
+  TopkServer per(shared_device(), per_cfg);
+  auto pr2 = per.run_batch(queries);
+
+  ASSERT_EQ(br.size(), pr2.size());
+  for (size_t i = 0; i < br.size(); ++i) {
+    EXPECT_EQ(br[i].values, pr2[i].values) << "query " << i;
+    EXPECT_EQ(br[i].kth, pr2[i].kth) << "query " << i;
+  }
+  EXPECT_GE(batched.stats().batched_queries, 1u);
+  EXPECT_EQ(per.stats().batched_queries, 0u);
+  EXPECT_EQ(per.stats().finalize_launches, 0u);
+}
+
+TEST(Serve, BatchedStreamedSubmitsStayExact) {
+  // One-at-a-time submissions (late joiners ride in-flight groups) through
+  // the batched path: deferral bookkeeping must close every group.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 121);
+  std::span<const u32> vs(v.data(), v.size());
+  const auto expect = widen(reference_topk(vs, 96));
+
+  ServerConfig cfg;
+  cfg.executors = 2;
+  TopkServer server(shared_device(), cfg);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<QueryResult>> futures;
+    for (int i = 0; i < 12; ++i)
+      futures.push_back(server.submit(Query::view(vs, 96)));
+    for (auto& f : futures) EXPECT_EQ(f.get().values, expect);
+  }
+  EXPECT_EQ(server.stats().completed, 36u);
+  EXPECT_EQ(server.stats().failed, 0u);
+}
+
 TEST(Serve, FallbackWhenDelegationInfeasible) {
   // k close to n: delegation infeasible, server must degrade to the direct
   // path and still answer exactly.

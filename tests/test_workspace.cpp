@@ -128,6 +128,41 @@ TEST(WorkspacePool, LeasesRecycleCapacity) {
   EXPECT_EQ(pool.size(), 2u);
 }
 
+TEST(WorkspacePool, LeaseAffinityPrefersLastReturnedArena) {
+  // First-touch locality groundwork: a caller that tags its acquires gets
+  // back the arena it last returned, even when other arenas sit on top of
+  // the free stack.
+  vgpu::WorkspacePool pool;
+  u32 *e0, *e1;
+  {
+    auto l0 = pool.acquire(0, /*affinity=*/0);
+    auto l1 = pool.acquire(0, /*affinity=*/1);
+    e0 = l0->alloc<u32>(64).data();
+    e1 = l1->alloc<u32>(64).data();
+    // l1 releases last, so it tops the free stack; affinity must still
+    // route executor 0 back to its own arena.
+  }
+  {
+    auto l0 = pool.acquire(0, /*affinity=*/0);
+    EXPECT_EQ(l0->alloc<u32>(64).data(), e0);
+    auto l1 = pool.acquire(0, /*affinity=*/1);
+    EXPECT_EQ(l1->alloc<u32>(64).data(), e1);
+  }
+  // Availability beats affinity: a caller with no matching arena takes any
+  // free one instead of allocating a new workspace.
+  {
+    auto l9 = pool.acquire(0, /*affinity=*/9);
+    (void)l9;
+    EXPECT_EQ(pool.size(), 2u);
+  }
+  // Untagged acquires keep working and never allocate while arenas are free.
+  {
+    auto l = pool.acquire();
+    (void)l;
+    EXPECT_EQ(pool.size(), 2u);
+  }
+}
+
 TEST(Workspace, EngineCallsReuseOneArena) {
   // Repeated engine invocations against one workspace must grow it at most
   // during the first call; every later call replays the same block walk.
