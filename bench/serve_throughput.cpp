@@ -50,6 +50,10 @@ struct ServerRun {
   u64 launches = 0;         ///< device kernel launches, measured rounds only
   double launches_per_query = 0;
   u64 finalize_launches = 0;  ///< batched second-top-k launches
+  u64 deduped = 0;            ///< queries served from a shared phase A
+  u64 dedup_classes = 0;      ///< query classes that shared
+  u64 window_flushes = 0;     ///< cross-group staging flushes
+  u64 window_merged_groups = 0;  ///< groups that shared a flush
 };
 
 /// Warm (calibration + arena growth across every executor) then measure
@@ -106,6 +110,11 @@ ServerRun run_server(vgpu::Device& dev, const serve::ServerConfig& cfg,
   out.launches_per_query =
       static_cast<double>(out.launches) / static_cast<double>(out.served);
   out.finalize_launches = after.finalize_launches - warm.finalize_launches;
+  out.deduped = after.deduped_queries - warm.deduped_queries;
+  out.dedup_classes = after.dedup_classes - warm.dedup_classes;
+  out.window_flushes = after.window_flushes - warm.window_flushes;
+  out.window_merged_groups =
+      after.window_merged_groups - warm.window_merged_groups;
   return out;
 }
 
@@ -117,10 +126,30 @@ bool check_parity(vgpu::Device& dev, serve::ServerConfig cfg,
   serve::TopkServer batched(dev, cfg);
   auto br = batched.run_batch(qs);
   cfg.batched_select = false;
+  cfg.dedup = false;
+  cfg.finalize_window_us = 0;
   serve::TopkServer per(dev, cfg);
   auto pr = per.run_batch(qs);
   for (size_t i = 0; i < qs.size(); ++i) {
     if (br[i].values != pr[i].values || br[i].kth != pr[i].kth) return false;
+  }
+  return true;
+}
+
+/// Parses a comma-separated numeric list flag value; returns false (and
+/// reports) on malformed input — the CI gates key off specific sweep points
+/// being present, so silent reinterpretation is not an option.
+template <class F>
+bool parse_list(const char* p, const char* flag, F&& push) {
+  while (*p) {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p || (*end != ',' && *end != '\0') || v < 0) {
+      std::fprintf(stderr, "invalid %s value near \"%s\"\n", flag, p);
+      return false;
+    }
+    push(v);
+    p = *end == ',' ? end + 1 : end;
   }
   return true;
 }
@@ -135,11 +164,41 @@ int main(int argc, char** argv) {
   // off specific sizes being present.
   std::vector<u64> group_sizes = {1, 4, 16, 64};
   std::string json3 = "BENCH_PR3.json";
+  std::string json5 = "BENCH_PR5.json";
+  std::vector<double> dup_rates = {0.0, 0.25, 0.5};
+  std::vector<u64> window_list = {0, 20000};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("serve_throughput extras: [--group-size=A,B,...]"
-                  " [--json3=PATH]\n");
+                  " [--json3=PATH] [--json5=PATH] [--dup-rate=R,R,...]"
+                  " [--finalize-window-us=W,W,...]\n");
+    } else if (arg.rfind("--dup-rate=", 0) == 0) {
+      dup_rates.clear();
+      bool in_range = true;
+      if (!parse_list(arg.c_str() + 11, "--dup-rate", [&](double v) {
+            in_range = in_range && v <= 1.0;
+            dup_rates.push_back(v);
+          }))
+        return 2;
+      if (dup_rates.empty() || !in_range) {
+        std::fprintf(stderr, "--dup-rate wants one or more rates in"
+                             " [0, 1]\n");
+        return 2;
+      }
+    } else if (arg.rfind("--finalize-window-us=", 0) == 0) {
+      window_list.clear();
+      if (!parse_list(arg.c_str() + 21, "--finalize-window-us", [&](double v) {
+            window_list.push_back(static_cast<u64>(v));
+          }))
+        return 2;
+      if (window_list.empty()) {
+        std::fprintf(stderr, "--finalize-window-us needs at least one"
+                             " window\n");
+        return 2;
+      }
+    } else if (arg.rfind("--json5=", 0) == 0) {
+      json5 = arg.substr(8);
     } else if (arg.rfind("--group-size=", 0) == 0) {
       group_sizes.clear();
       const char* p = arg.c_str() + 13;
@@ -333,6 +392,11 @@ int main(int argc, char** argv) {
     cfg.executors = 4;
     cfg.batch_max = static_cast<u32>(std::min<u64>(gsz, 256));
     cfg.max_in_flight = std::max<u32>(64, cfg.batch_max);
+    // This sweep measures the PR-3 configuration (its committed
+    // BENCH_PR3.json baseline gates CI): Phase-A dedup and cross-group
+    // windows stay off here — the PR-5 sweep below owns those axes.
+    cfg.dedup = false;
+    cfg.finalize_window_us = 0;
     const int grounds = std::max(2, static_cast<int>(32 / gsz));
 
     vgpu::Device bdev(vgpu::GpuProfile::v100s());
@@ -407,5 +471,132 @@ int main(int argc, char** argv) {
   std::printf("\nbatched: one first-top-k launch at setup + one second-top-k"
               " launch at finalization per\nadmission group (topk/batched.hpp)"
               " against the PR-2 per-query stage-2/stage-4 launches.\n");
+
+  // ------------------------------------------------------------------
+  // PR 5: Phase-A dedup + cross-group finalization windows, swept over the
+  // duplicate-query rate and the window. Workload: 4 admission groups of
+  // 16 per round on one corpus; a dup rate R makes ceil(16*R) of each
+  // group's queries duplicates of earlier members. Tracked: launches per
+  // query (dedup removes the duplicates' stage-3 launches; the window
+  // collapses the 4 per-group finalize launches into one) and QPS vs the
+  // PR-3 configuration on the SAME workload.
+  // ------------------------------------------------------------------
+  const u64 gsz5 = 16, groups5 = 4, q5 = gsz5 * groups5;
+  std::printf("\n%-8s %9s | %9s %9s %7s | %8s %8s | %7s %7s | %6s\n",
+              "dup", "window_us", "pr5 QPS", "pr3 QPS", "gain", "pr5 lpq",
+              "pr3 lpq", "dedupq", "wflush", "parity");
+
+  bench::Json wrows = bench::Json::array();
+  double lpq_dup0_window = 0, lpq_dup25_window = 0, lpq_dup0_nowin = 0;
+  bool have_dup0 = false, have_dup25 = false, have_dup0_nowin = false;
+  bool parity5_all = true;
+  for (const double dup : dup_rates) {
+    // d distinct ks per group; queries cycle through them so a fraction
+    // ~dup of each group's members duplicates an earlier one.
+    const u64 d = std::max<u64>(
+        1, gsz5 - static_cast<u64>(dup * static_cast<double>(gsz5)));
+    std::vector<serve::Query> qs;
+    for (u64 i = 0; i < q5; ++i)
+      qs.push_back(serve::Query::view(span_of(doc), 32 * ((i % d) + 1)));
+
+    // One parity run per dup rate, at the largest swept window: the full
+    // PR-5 path (dedup + window) against the per-query baseline.
+    serve::ServerConfig pcfg;
+    pcfg.executors = 4;
+    pcfg.batch_max = static_cast<u32>(gsz5);
+    pcfg.max_in_flight = static_cast<u32>(q5);
+    pcfg.finalize_window_us =
+        static_cast<u32>(*std::max_element(window_list.begin(),
+                                           window_list.end()));
+    pcfg.finalize_max_segments = static_cast<u32>(groups5 * d);
+    vgpu::Device parity_dev(vgpu::GpuProfile::v100s());
+    const bool parity = check_parity(parity_dev, pcfg, qs);
+    parity5_all = parity5_all && parity;
+
+    for (const u64 window : window_list) {
+      serve::ServerConfig cfg;
+      cfg.executors = 4;
+      cfg.batch_max = static_cast<u32>(gsz5);
+      cfg.max_in_flight = static_cast<u32>(q5);
+      cfg.dedup = true;
+      cfg.finalize_window_us = static_cast<u32>(window);
+      // Early-flush cap = the round's expected leader segments (groups x
+      // distinct ks): the flush fires the moment the last group parks
+      // instead of waiting out the window, keeping the sweep fast and the
+      // merge deterministic.
+      cfg.finalize_max_segments = static_cast<u32>(groups5 * d);
+      vgpu::Device wdev(vgpu::GpuProfile::v100s());
+      const ServerRun pr5 = run_server(wdev, cfg, qs, 2);
+
+      serve::ServerConfig p3cfg = cfg;  // PR-3 configuration, same workload
+      p3cfg.dedup = false;
+      p3cfg.finalize_window_us = 0;
+      vgpu::Device p3dev(vgpu::GpuProfile::v100s());
+      const ServerRun pr3r = run_server(p3dev, p3cfg, qs, 2);
+
+      const double gain = pr5.qps / pr3r.qps;
+      if (window > 0 && dup == 0.0) {
+        lpq_dup0_window = pr5.launches_per_query;
+        have_dup0 = true;
+      }
+      if (window > 0 && dup >= 0.2499 && dup <= 0.2501) {
+        lpq_dup25_window = pr5.launches_per_query;
+        have_dup25 = true;
+      }
+      if (window == 0 && dup == 0.0) {
+        lpq_dup0_nowin = pr5.launches_per_query;
+        have_dup0_nowin = true;
+      }
+
+      std::printf("%-8.2f %9llu | %9.1f %9.1f %6.2fx | %8.2f %8.2f |"
+                  " %7llu %7llu | %6s\n",
+                  dup, static_cast<unsigned long long>(window), pr5.qps,
+                  pr3r.qps, gain, pr5.launches_per_query,
+                  pr3r.launches_per_query,
+                  static_cast<unsigned long long>(pr5.deduped),
+                  static_cast<unsigned long long>(pr5.window_flushes),
+                  parity ? "ok" : "FAIL");
+
+      bench::Json row = bench::Json::object();
+      row.set("dup_rate", dup)
+          .set("window_us", window)
+          .set("distinct_ks", d)
+          .set("queries", pr5.served)
+          .set("pr5_qps", pr5.qps)
+          .set("pr3_qps", pr3r.qps)
+          .set("gain_vs_pr3", gain)
+          .set("pr5_launches_per_query", pr5.launches_per_query)
+          .set("pr3_launches_per_query", pr3r.launches_per_query)
+          .set("deduped_queries", pr5.deduped)
+          .set("dedup_classes", pr5.dedup_classes)
+          .set("window_flushes", pr5.window_flushes)
+          .set("window_merged_groups", pr5.window_merged_groups)
+          .set("finalize_launches", pr5.finalize_launches)
+          .set("steady_ws_growths", pr5.ws_growths_steady)
+          .set("parity", parity);
+      wrows.push(std::move(row));
+    }
+  }
+
+  // Headline fields only when their sweep point actually ran (absent keys
+  // fail the CI gate rather than passing vacuously — same discipline as
+  // the PR-3 report).
+  bench::Json wreport = bench::Json::object();
+  wreport.set("bench", "serve_dedup_window")
+      .set("logn", args.logn)
+      .set("seed", args.seed)
+      .set("executors", 4)
+      .set("group_size", gsz5)
+      .set("groups_per_round", groups5);
+  if (have_dup0) wreport.set("lpq_dup0_window", lpq_dup0_window);
+  if (have_dup25) wreport.set("lpq_dup25_window", lpq_dup25_window);
+  if (have_dup0_nowin) wreport.set("lpq_dup0_nowindow", lpq_dup0_nowin);
+  wreport.set("parity", parity5_all).set("rows", std::move(wrows));
+  bench::write_json_section(json5, "serve_dedup_window", wreport);
+
+  std::printf("\ndedup: identical (k, selection_only) queries of a group"
+              " share one phase A and one\nfinalization segment; window:"
+              " groups completing within --finalize-window-us share\nONE"
+              " batched finalization launch (cross-corpus).\n");
   return 0;
 }

@@ -39,6 +39,9 @@
 
 namespace drtopk::core {
 
+/// Pipeline configuration: stage algorithms, the alpha/beta delegate
+/// geometry, and the optimization toggles that keep earlier hot-path
+/// designs measurable as baselines.
 struct DrTopkConfig {
   u32 beta = 2;       ///< delegates per subrange (1 = maximum delegate only)
   int alpha = -1;     ///< log2(subrange size); -1 = auto (Rule 4)
@@ -131,6 +134,21 @@ inline int resolve_alpha(u64 n, u64 k, u32 beta, const DrTopkConfig& cfg) {
 /// finalization and the arena lifetime. Without `alloc_cand` the call
 /// never defers (candidates would die with the call's Scope rewind); the
 /// struct is then a kappa-only channel.
+///
+/// The deferred span's lifetime is NOT bounded by any notion of "the
+/// group" or "the batch" this call belonged to: with cross-group
+/// finalization windows (serve::ServerConfig::finalize_window_us) spans
+/// park in a staging area *across group boundaries* and are finalized by
+/// an executor that never touched the query, possibly after the group's
+/// last query finished its own phase A. The contract is therefore purely
+/// arena-relative: whoever schedules the deferred second top-k must keep
+/// the arena behind `alloc_cand` alive — and un-rewound past the span —
+/// until the batched launch has consumed it (the serving layer does this
+/// by holding the group, and thus its pooled-workspace lease, in the
+/// staging area until the shared launch returns). A span may also be read
+/// by MORE than one logical query: Phase-A dedup points every subscriber
+/// of a query class at its leader's span, so release must happen after
+/// the last reader, not the first.
 template <class K>
 struct DeferredSecond {
   // Inputs.

@@ -58,6 +58,8 @@ struct CachedPlan {
   /// grows an arena mid-query.
   u64 group_ws_bytes = 0;  ///< shared construction (delegate vector, keys)
                            ///< plus the group's deferred candidate spans
+                           ///< (dedup-shared; re-recorded at finalization,
+                           ///< which a cross-group window flush may run)
   u64 exec_ws_bytes = 0;   ///< per-query stages 2-4 scratch
 };
 

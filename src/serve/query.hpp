@@ -16,8 +16,12 @@
 
 namespace drtopk::serve {
 
+/// Key width of a query's payload; part of the admission-group signature.
 enum class KeyWidth : u8 { k32, k64 };
 
+/// One top-k request: k, criterion, selection-only flag and a payload that
+/// either views server-resident data or owns a shipped buffer (see the
+/// file comment). Cheaply copyable; construct via the factories.
 struct Query {
   u64 k = 1;
   data::Criterion criterion = data::Criterion::kLargest;
@@ -95,6 +99,9 @@ struct Query {
   }
 };
 
+/// The answer to one Query: exact top-k values (widened to u64), the k-th
+/// value, and per-query accounting (simulated latency including amortized
+/// shares of group-shared work, stage breakdown, cache/fusion flags).
 struct QueryResult {
   u64 id = 0;                ///< server-assigned, monotonically increasing
   std::vector<u64> values;   ///< top-k, best-first, widened to u64

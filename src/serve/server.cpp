@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "topk/batched.hpp"
@@ -61,6 +62,11 @@ TopkServer::TopkServer(vgpu::Device& dev, ServerConfig cfg)
       plans_(cfg.plan),
       queue_(cfg.batch_max, cfg.max_in_flight),
       collector_(std::max(1u, cfg.executors)) {
+  // Resolve the window's early-flush segment cap once: the configured value
+  // or the batched engine's capacity-ladder ceiling for this device.
+  stage_cap_ = cfg_.finalize_max_segments
+                   ? cfg_.finalize_max_segments
+                   : topk::batched_segment_cap(dev_.profile());
   const u32 n = std::max(1u, cfg_.executors);
   exec_ws_.reserve(n);
   for (u32 i = 0; i < n; ++i)
@@ -134,9 +140,11 @@ void TopkServer::executor_loop(u32 executor_id) {
       // Group-completion bookkeeping (and, for the executor completing the
       // last item, the batched finalization of every parked query) happens
       // before the in-flight slot is released, so drain() cannot observe a
-      // drained queue with unfulfilled promises.
-      maybe_finalize_group(*c.group, executor_id);
-      queue_.finish_item(c.group);
+      // drained queue with unfulfilled promises. When the group parks in
+      // the cross-group window instead, the slot release moves to the
+      // staging-area flush for the same reason.
+      if (!maybe_finalize_group(c.group, executor_id))
+        queue_.finish_item(c.group);
     }
     c.group.reset();
   }
@@ -322,7 +330,9 @@ void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
   }
 }
 
-void TopkServer::maybe_finalize_group(Group& g, u32 executor_id) {
+bool TopkServer::maybe_finalize_group(const std::shared_ptr<Group>& gp,
+                                      u32 executor_id) {
+  Group& g = *gp;
   bool finalize = false;
   {
     std::lock_guard lk(g.batch_mu);
@@ -333,40 +343,113 @@ void TopkServer::maybe_finalize_group(Group& g, u32 executor_id) {
                g.executed == g.final_items &&
                (!g.def32.empty() || !g.def64.empty());
   }
-  if (!finalize) return;
-  try {
-    if (g.width == KeyWidth::k64) {
-      finalize_group_typed<u64>(g, executor_id);
-    } else {
-      finalize_group_typed<u32>(g, executor_id);
-    }
-  } catch (...) {
-    // Fail every parked query that was not yet fulfilled (the finalizer
-    // nulls item as it delivers each result, so a mid-loop throw cannot
-    // lead to a double set that would itself throw out of this handler).
-    auto fail = [&](auto& parked) {
-      for (auto& d : parked) {
-        if (!d.item) continue;
-        collector_.record_failure();
-        d.item->promise.set_exception(std::current_exception());
-        d.item = nullptr;
-      }
-    };
-    fail(g.def32);
-    fail(g.def64);
+  if (!finalize) return false;
+
+  if (cfg_.finalize_window_us == 0) {
+    // PR-3 behavior: the last finisher finalizes its own group, alone,
+    // before the in-flight slot is released by the caller.
+    finalize_groups({&gp, 1}, executor_id);
+    return false;
   }
+
+  // Cross-group finalization window: park the group in the staging area.
+  // The first parker becomes the window owner — it blocks here (at most
+  // finalize_window_us, woken early once the parked segments reach the
+  // capacity-ladder cap) while every other executor keeps draining
+  // queries, then flushes all staged groups in one shared launch sequence.
+  // Later parkers just deposit and go back to claiming work.
+  std::vector<std::shared_ptr<Group>> staged;
+  {
+    std::unique_lock lk(stage_.mu);
+    stage_.groups.push_back(gp);
+    stage_.segments += g.def32.size() + g.def64.size();
+    if (stage_.owner_waiting) {
+      // The owner flushes (and releases the in-flight slot of) this group.
+      if (stage_.segments >= stage_cap_) stage_.cv.notify_all();
+      return true;
+    }
+    stage_.owner_waiting = true;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(cfg_.finalize_window_us);
+    while (stage_.segments < stage_cap_ &&
+           stage_.cv.wait_until(lk, deadline) != std::cv_status::timeout) {
+    }
+    staged.swap(stage_.groups);
+    stage_.segments = 0;
+    stage_.owner_waiting = false;
+  }
+  // Window stats before any promise is fulfilled (snapshot coherence, same
+  // discipline as record_finalize below).
+  collector_.record_window_flush(staged.size());
+  finalize_groups(staged, executor_id);
+  // Release the in-flight slot each staged group's last item was holding
+  // (its claimant skipped finish_item when it parked) — ours included.
+  for (const auto& sg : staged) queue_.finish_item(sg);
+  return true;
+}
+
+void TopkServer::finalize_groups(std::span<const std::shared_ptr<Group>> gs,
+                                 u32 executor_id) {
+  // One independent attempt per key width: a throw from one width's
+  // batched launch fails only the queries that launch was serving — the
+  // other width's groups (whose separate launch never ran) still get
+  // their answers, matching the blast radius of per-group finalization.
+  const auto run_width = [&](auto width_tag) {
+    using T = decltype(width_tag);
+    try {
+      finalize_groups_typed<T>(gs, executor_id);
+    } catch (...) {
+      // Fail every parked query of this width — dedup subscribers
+      // included — that was not yet fulfilled (delivery nulls each item
+      // as it goes, so a mid-loop throw cannot lead to a double set that
+      // would itself throw out of this handler).
+      auto fail_one = [&](Pending*& item) {
+        if (!item) return;
+        collector_.record_failure();
+        item->promise.set_exception(std::current_exception());
+        item = nullptr;
+      };
+      for (const auto& gp : gs) {
+        for (auto& d : group_deferred<T>(*gp)) {
+          if (d.class_id != kNoQueryClass)
+            for (auto& sub : gp->classes[d.class_id].subs) fail_one(sub.item);
+          fail_one(d.item);
+        }
+      }
+    }
+  };
+  run_width(u32{});
+  run_width(u64{});
 }
 
 template <class T>
-void TopkServer::finalize_group_typed(Group& g, u32 executor_id) {
+void TopkServer::finalize_groups_typed(
+    std::span<const std::shared_ptr<Group>> gs, u32 executor_id) {
   using Key = typename data::KeyTraits<T>::Key;
-  auto& parked = group_deferred<Key>(g);
-  // No synchronization needed past this point: every item executed, so no
-  // thread appends to the list or allocates from the group arena anymore.
+  // Assemble ONE segment list over every staged group's parked items of
+  // this key width (mixed corpora are fine: the engine keys problems by
+  // span identity). No synchronization needed past this point: every item
+  // of every staged group executed, so no thread appends to the deferred
+  // lists, joins a query class or allocates from a group arena anymore.
+  struct Ref {
+    Group* g = nullptr;
+    DeferredItem<Key>* d = nullptr;
+  };
+  std::vector<Ref> refs;
+  u64 ngroups = 0;
+  for (const auto& gp : gs) {
+    auto& parked = group_deferred<Key>(*gp);
+    if (parked.empty()) continue;
+    ++ngroups;
+    for (auto& d : parked) refs.push_back({gp.get(), &d});
+  }
+  if (refs.empty()) return;
+
   std::vector<topk::BatchedSegment<Key>> segs;
-  segs.reserve(parked.size());
-  for (const auto& d : parked)
-    segs.push_back({d.cand, d.k, d.out.id, d.selection_only});
+  segs.reserve(refs.size());
+  for (const Ref& r : refs)
+    segs.push_back({r.d->cand, r.d->k, r.d->out.id, r.d->selection_only});
 
   vgpu::Workspace& ws = *exec_ws_[executor_id];
   vgpu::Workspace::Scope scope(ws);
@@ -375,21 +458,34 @@ void TopkServer::finalize_group_typed(Group& g, u32 executor_id) {
       acc, std::span<const topk::BatchedSegment<Key>>(segs),
       topk::BatchedMode::kAuto, ws);
 
-  // Group-level accounting first: every counter must be recorded before
-  // the last promise is fulfilled, or a stats() snapshot taken right after
-  // the batch completes could miss this group's finalization.
-  collector_.record_finalize(br.launches, parked.size(), acc.stats());
-  collector_.record_executor_work(executor_id, acc.sim_ms());
-  // Re-record the group arena's peak now that it holds the deferred
-  // candidate spans: the next hit on this shape presizes for them too.
-  if (g.plan_resolved)
-    plans_.note_workspace(g.plan_key, g.ws ? g.ws->peak_bytes() : 0, 0);
+  // Deliveries = parked leaders plus their dedup subscribers: the count
+  // that shares the launch's cost and lands in batched_queries.
+  u64 deliveries = 0;
+  for (const Ref& r : refs)
+    deliveries += 1 + (r.d->class_id != kNoQueryClass
+                           ? r.g->classes[r.d->class_id].subs.size()
+                           : 0);
 
-  // One launch served the whole group; each query's latency carries its
-  // share (the kernel counters were recorded once at group level above).
-  const double share = acc.sim_ms() / static_cast<double>(parked.size());
-  for (size_t i = 0; i < parked.size(); ++i) {
-    auto& d = parked[i];
+  // Batch-level accounting first: every counter must be recorded before
+  // the last promise is fulfilled, or a stats() snapshot taken right after
+  // the batch completes could miss this finalization.
+  collector_.record_finalize(br.launches, ngroups, deliveries, acc.stats());
+  collector_.record_executor_work(executor_id, acc.sim_ms());
+  // Re-record each group arena's peak now that it holds the deferred
+  // candidate spans: the next hit on the shape presizes for them too.
+  for (const auto& gp : gs) {
+    if (group_deferred<Key>(*gp).empty()) continue;
+    if (gp->plan_resolved)
+      plans_.note_workspace(gp->plan_key, gp->ws ? gp->ws->peak_bytes() : 0,
+                            0);
+  }
+
+  // One launch sequence served every group; each delivered query's latency
+  // carries an equal share (the kernel counters were recorded once at
+  // batch level above), so the shares sum to exactly the cost paid once.
+  const double share = acc.sim_ms() / static_cast<double>(deliveries);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    DeferredItem<Key>& d = *refs[i].d;
     d.out.values.reserve(br.keys[i].size());
     for (const Key key : br.keys[i])
       d.out.values.push_back(static_cast<u64>(
@@ -397,6 +493,22 @@ void TopkServer::finalize_group_typed(Group& g, u32 executor_id) {
     d.out.kth = d.out.values.back();
     d.out.latency_sim_ms += share;
     d.out.breakdown.second_ms = share;
+    // Dedup fan-out: every subscriber of the leader's class receives a
+    // copy of the segment's result — one sort, one emission, N answers.
+    if (d.class_id != kNoQueryClass) {
+      for (DedupSub& sub : refs[i].g->classes[d.class_id].subs) {
+        sub.out.values = d.out.values;
+        sub.out.kth = d.out.kth;
+        sub.out.latency_sim_ms += share;
+        sub.out.breakdown.second_ms = share;
+        sub.out.wall_ms = sub.item->admitted.ms();
+        collector_.record_query(sub.out.latency_sim_ms, sub.out.breakdown,
+                                sub.out.fused);
+        Pending* item = sub.item;
+        sub.item = nullptr;  // fulfilled: failure path must not touch it
+        item->promise.set_value(std::move(sub.out));
+      }
+    }
     d.out.wall_ms = d.item->admitted.ms();
     collector_.record_query(d.out.latency_sim_ms, d.out.breakdown,
                             d.out.fused);
@@ -435,15 +547,70 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
     std::span<const Key> keyspan = g.keys_materialized
                                        ? group_keys<Key>(g)
                                        : std::span<const Key>(values);
+    const bool eligible = batched_eligible(cfg);
+
+    // ---- Phase-A dedup: join or found this query's class ----
+    // Within a group the only signature left is (k, selection_only); the
+    // first executor to reach a class is its leader and runs phase A
+    // below, everyone else subscribes and never touches the data. The
+    // decision is deterministic per signature (both members of a class
+    // reach this same branch with the same group state), so a subscriber
+    // can never be waiting on a leader that took a different path.
+    u32 class_id = kNoQueryClass;
+    if (eligible && cfg_.dedup) {
+      std::lock_guard lk(g.batch_mu);
+      u32 found = kNoQueryClass;
+      for (u32 i = 0; i < g.classes.size(); ++i) {
+        if (g.classes[i].k == q.k &&
+            g.classes[i].selection_only == q.selection_only) {
+          found = i;
+          break;
+        }
+      }
+      if (found == kNoQueryClass) {
+        QueryClass cls;
+        cls.k = q.k;
+        cls.selection_only = q.selection_only;
+        g.classes.push_back(std::move(cls));
+        class_id = static_cast<u32>(g.classes.size() - 1);  // leader
+      } else if (!g.classes[found].failed) {
+        QueryClass& cls = g.classes[found];
+        out.fused = g.setup_items > 1 || amortize_over == 0;
+        // A deduped query's own cost is just its setup share; the
+        // finalization share is added at fan-out (zero for inline fan-out
+        // — copying a published result models as free host work).
+        if (amortize_over > 0)
+          out.latency_sim_ms =
+              g.setup_sim_ms / static_cast<double>(amortize_over);
+        collector_.record_dedup(!cls.shared);
+        cls.shared = true;
+        if (cls.inline_ready) {
+          // The leader already resolved without deferring: self-serve.
+          out.values = cls.inline_values;
+          out.kth = cls.inline_kth;
+          out.wall_ms = p.admitted.ms();
+          return out;
+        }
+        // Subscribe: delivery happens at leader completion (inline
+        // leaders) or batched finalization (deferred leaders).
+        cls.subs.push_back({&p, out});
+        *deferred = true;
+        return out;
+      }
+      // else: the class's leader threw — don't ride a poisoned class; run
+      // this query independently (exact, just unshared).
+    }
+
     // Batched second-stage selection: replay the setup's exact kappa (one
     // batched launch covered the group), allocate the candidate span from
     // the group arena so it outlives this call, and defer stage 4 — the
-    // group's last finisher selects for everyone in a single launch.
-    // Gated on the default engine so plan-probed engine choices (and the
-    // per-query baseline) stay measurable.
+    // group's last finisher (or a cross-group window flush) selects for
+    // everyone in a single launch. Gated on the default engine so
+    // plan-probed engine choices (and the per-query baseline) stay
+    // measurable.
     core::DeferredSecond<Key> dsec;
     core::DeferredSecond<Key>* dsp = nullptr;
-    if (batched_eligible(cfg)) {
+    if (eligible) {
       for (size_t i = 0; i < g.kappa_ks.size(); ++i) {
         if (g.kappa_ks[i] == q.k) {
           dsec.have_kappa = true;
@@ -457,44 +624,88 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
       };
       dsp = &dsec;
     }
-    auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
-                                               group_dv<Key>(g), cfg, &bd,
-                                               ws, dsp);
-    // "Fused" means construction was genuinely shared: either the setup
-    // covered several queries, or this is a late joiner riding a pass that
-    // others paid for. A singleton group paid full freight — not fused.
-    out.fused = g.setup_items > 1 || amortize_over == 0;
-    // Latency: this query's stages plus its share of the group's single
-    // construction (+ batched first top-k) pass. Late joiners
-    // (amortize_over == 0) ride passes that were already paid for, so the
-    // shares across a group sum to exactly the cost charged once at setup.
-    out.latency_sim_ms = r.sim_ms;
-    if (amortize_over > 0)
-      out.latency_sim_ms +=
-          g.setup_sim_ms / static_cast<double>(amortize_over);
-    if (dsp && dsec.deferred) {
-      // Park the phase-A result; values/kth arrive at group finalization.
-      out.breakdown = bd;
-      DeferredItem<Key> d;
-      d.item = &p;
-      d.out = out;
-      d.cand = dsec.cand;
-      d.k = q.k;
-      d.criterion = q.criterion;
-      d.selection_only = q.selection_only;
+    try {
+      auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
+                                                 group_dv<Key>(g), cfg, &bd,
+                                                 ws, dsp);
+      // "Fused" means construction was genuinely shared: either the setup
+      // covered several queries, or this is a late joiner riding a pass
+      // that others paid for. A singleton group paid full freight — not
+      // fused.
+      out.fused = g.setup_items > 1 || amortize_over == 0;
+      // Latency: this query's stages plus its share of the group's single
+      // construction (+ batched first top-k) pass. Late joiners
+      // (amortize_over == 0) ride passes that were already paid for, so
+      // the shares across a group sum to exactly the cost charged once at
+      // setup.
+      out.latency_sim_ms = r.sim_ms;
+      if (amortize_over > 0)
+        out.latency_sim_ms +=
+            g.setup_sim_ms / static_cast<double>(amortize_over);
+      if (dsp && dsec.deferred) {
+        // Park the phase-A result; values/kth arrive at finalization.
+        out.breakdown = bd;
+        DeferredItem<Key> d;
+        d.item = &p;
+        d.out = out;
+        d.cand = dsec.cand;
+        d.k = q.k;
+        d.criterion = q.criterion;
+        d.selection_only = q.selection_only;
+        d.class_id = class_id;
+        {
+          std::lock_guard lk(g.batch_mu);
+          group_deferred<Key>(g).push_back(std::move(d));
+        }
+        *deferred = true;
+        return out;
+      }
+      out.values.reserve(r.keys.size());
+      for (const Key key : r.keys)
+        out.values.push_back(static_cast<u64>(
+            data::value_from_directed_key<T>(key, q.criterion)));
+      out.kth = static_cast<u64>(
+          data::value_from_directed_key<T>(r.kth, q.criterion));
+    } catch (...) {
+      // Leader threw before publishing anything: poison the class so late
+      // members run independently, and fail anyone already subscribed.
+      if (class_id != kNoQueryClass) {
+        std::vector<DedupSub> subs;
+        {
+          std::lock_guard lk(g.batch_mu);
+          QueryClass& cls = g.classes[class_id];
+          cls.failed = true;
+          subs.swap(cls.subs);
+        }
+        for (DedupSub& sub : subs) {
+          collector_.record_failure();
+          sub.item->promise.set_exception(std::current_exception());
+        }
+      }
+      throw;
+    }
+    // Leader completed inline (no deferral — Rule-3 fast path, plan-probed
+    // engine, ...): publish the result for the class and deliver anyone
+    // already parked; later members self-serve from the published copy.
+    if (class_id != kNoQueryClass) {
+      std::vector<DedupSub> subs;
       {
         std::lock_guard lk(g.batch_mu);
-        group_deferred<Key>(g).push_back(std::move(d));
+        QueryClass& cls = g.classes[class_id];
+        cls.inline_ready = true;
+        cls.inline_values = out.values;
+        cls.inline_kth = out.kth;
+        subs.swap(cls.subs);
       }
-      *deferred = true;
-      return out;
+      for (DedupSub& sub : subs) {
+        sub.out.values = out.values;
+        sub.out.kth = out.kth;
+        sub.out.wall_ms = sub.item->admitted.ms();
+        collector_.record_query(sub.out.latency_sim_ms, sub.out.breakdown,
+                                sub.out.fused);
+        sub.item->promise.set_value(std::move(sub.out));
+      }
     }
-    out.values.reserve(r.keys.size());
-    for (const Key key : r.keys)
-      out.values.push_back(static_cast<u64>(
-          data::value_from_directed_key<T>(key, q.criterion)));
-    out.kth = static_cast<u64>(
-        data::value_from_directed_key<T>(r.kth, q.criterion));
   } else {
     // Unfused fallback: delegation infeasible for this shape (or setup
     // degraded); the full single-query pipeline, still plan-accelerated

@@ -21,7 +21,12 @@
 // Batching wins because delegate construction — the dominant stage of the
 // pipeline (Figure 15) — is paid once per group instead of once per query;
 // the plan cache wins by replaying calibrated decisions for recurring
-// query shapes.
+// query shapes. Two further collapse axes ride the same machinery:
+// Phase-A dedup (identical queries of a group share one candidate span and
+// one finalization segment, results fanned out to every subscriber) and
+// cross-group finalization windows (groups completing within a short
+// window share ONE batched second-top-k launch, even across corpora).
+// docs/ARCHITECTURE.md walks a query through the whole pipeline.
 #pragma once
 
 #include <thread>
@@ -32,6 +37,11 @@
 
 namespace drtopk::serve {
 
+/// Server tuning knobs. Every optimization keeps its predecessor
+/// measurable: `batched_select=false` replays the PR-2 per-query hot path,
+/// `dedup=false` gives every query its own phase A, and
+/// `finalize_window_us=0` finalizes each group by its own last finisher
+/// (the PR-3 behavior) — see docs/ARCHITECTURE.md for the full map.
 struct ServerConfig {
   u32 executors = 2;       ///< concurrent query executors
   u32 batch_max = 16;      ///< max queries per admission group
@@ -48,8 +58,37 @@ struct ServerConfig {
   /// group instead of one per query. `false` replays the PR-2 per-query
   /// hot path, kept as the measurable baseline.
   bool batched_select = true;
+  /// Phase-A dedup (PR 5): queries of one admission group with identical
+  /// (k, selection_only) — corpus, length, width and criterion already
+  /// matched at admission — share ONE stage-3 candidate span and ONE
+  /// segment of the batched finalization launch; results fan out to every
+  /// subscriber, bit-identical by construction. Only active on the batched
+  /// fused path (it rides the deferred-span machinery); `false` gives
+  /// every query its own phase A, the measurable PR-3 behavior.
+  bool dedup = true;
+  /// Cross-group finalization window, in microseconds of host wall clock:
+  /// groups becoming finalization-ready within this window are finalized
+  /// together in ONE shared batched launch per key width present —
+  /// possibly over different corpora (the engine accepts mixed-corpus
+  /// segment lists); u32 and u64 groups sharing a window still take one
+  /// launch each. The first
+  /// group to park becomes the *window owner* and blocks (at most this
+  /// long) while other executors keep draining queries, so merging needs
+  /// >= 2 executors to overlap; a single-executor server simply pays the
+  /// window as added latency. 0 (default): every group is finalized
+  /// immediately by its own last finisher, exactly the PR-3 behavior.
+  u32 finalize_window_us = 0;
+  /// Parked-segment count at which a window flush fires early (before the
+  /// window elapses) — accumulating past the point where one launch
+  /// already fills the GPU only delays ready results. 0 = auto:
+  /// topk::batched_segment_cap for the server's device.
+  u32 finalize_max_segments = 0;
 };
 
+/// The batched multi-query top-k server (see the file comment for the
+/// pipeline). Owns the executor threads, the admission queue, the plan
+/// cache, the workspace arenas and the cross-group finalization staging
+/// area; submit()/run_batch() are thread-safe.
 class TopkServer {
  public:
   explicit TopkServer(vgpu::Device& dev, ServerConfig cfg = {});
@@ -88,9 +127,19 @@ class TopkServer {
   void executor_loop(u32 executor_id);
   void setup_group(Group& g, u32 executor_id);
   void execute_item(Group& g, Pending& p, u64 amortize_over, u32 executor_id);
-  /// Marks one item executed; the executor whose item completes the group
-  /// runs the batched finalization for every parked (deferred) query.
-  void maybe_finalize_group(Group& g, u32 executor_id);
+  /// Marks one item executed. The executor whose item completes the group
+  /// either finalizes every parked (deferred) query now (window off) or
+  /// parks the group in the cross-group staging area. Returns true when
+  /// responsibility for the item's queue_.finish_item() was transferred to
+  /// the staging-area flush (the caller must then NOT release the slot —
+  /// drain() may not observe an idle queue with unfulfilled promises).
+  bool maybe_finalize_group(const std::shared_ptr<Group>& g, u32 executor_id);
+  /// Finalizes a set of completed groups — one batched launch per key
+  /// width present, segments from all groups assembled into one list (the
+  /// engine handles mixed corpora). A failure in one width's launch fails
+  /// only that width's parked queries.
+  void finalize_groups(std::span<const std::shared_ptr<Group>> groups,
+                       u32 executor_id);
   /// THE batched-selection eligibility gate — one predicate shared by the
   /// group setup (does a batched kappa launch pay off?) and per-item
   /// execution (may this query defer its stage 4?), so the two sites
@@ -107,7 +156,8 @@ class TopkServer {
   QueryResult run_item_typed(Group& g, Pending& p, u64 amortize_over,
                              vgpu::Workspace& ws, bool* deferred);
   template <class T>
-  void finalize_group_typed(Group& g, u32 executor_id);
+  void finalize_groups_typed(std::span<const std::shared_ptr<Group>> groups,
+                             u32 executor_id);
 
   vgpu::Device& dev_;
   ServerConfig cfg_;
@@ -121,6 +171,24 @@ class TopkServer {
   std::vector<std::unique_ptr<vgpu::Workspace>> exec_ws_;
   AdmissionQueue queue_;
   StatsCollector collector_;
+  /// Cross-group finalization staging area (PR 5): completed groups with
+  /// parked deferred spans wait here up to finalize_window_us for peers;
+  /// the first parker becomes the *window owner* and flushes everyone in
+  /// one shared launch sequence. "Owned by the executor pool": parking
+  /// executors return to claiming work immediately, only the owner blocks
+  /// (bounded by the window, woken early by the segment cap). Staged
+  /// shared_ptr<Group>s keep each group's pooled-arena lease — and thus
+  /// every parked candidate span — alive until the flush has consumed
+  /// them (the DeferredSecond ownership contract in core/dr_topk.hpp).
+  struct FinalizeStage {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::shared_ptr<Group>> groups;
+    u64 segments = 0;  ///< parked deferred segments across staged groups
+    bool owner_waiting = false;
+  };
+  FinalizeStage stage_;
+  u64 stage_cap_ = 0;  ///< resolved finalize_max_segments (0-auto applied)
   std::vector<std::thread> executors_;
 };
 

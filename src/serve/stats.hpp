@@ -16,6 +16,9 @@
 
 namespace drtopk::serve {
 
+/// Aggregate server metrics snapshot (TopkServer::stats()): query counts,
+/// batching/dedup/window counters, simulated-latency percentiles and the
+/// makespan-based modeled QPS.
 struct ServerStats {
   u64 completed = 0;
   u64 failed = 0;
@@ -24,11 +27,22 @@ struct ServerStats {
   u64 plan_hits = 0;      ///< plan-cache lookups that skipped tuning
   u64 plan_misses = 0;    ///< lookups that paid calibration probes
   u64 batched_groups = 0;   ///< groups finalized with a batched second top-k
-  u64 batched_queries = 0;  ///< queries whose stage 4 ran inside a group batch
+  u64 batched_queries = 0;  ///< queries whose stage 4 ran inside a batched
+                            ///< finalization (dedup subscribers included)
   u64 finalize_launches = 0;  ///< selection launches spent finalizing groups:
-                              ///< exactly one per group when the candidate
-                              ///< segments fit one SM (the asserted common
-                              ///< case), two when the multi-CTA path runs
+                              ///< exactly one per finalization when the
+                              ///< candidate segments fit one SM (the asserted
+                              ///< common case), two when the multi-CTA path
+                              ///< runs; a cross-group window flush counts
+                              ///< ONCE for all groups it covers
+  u64 deduped_queries = 0;  ///< queries served from another query's phase-A
+                            ///< span/result instead of running their own
+  u64 dedup_classes = 0;    ///< query classes that actually shared (had at
+                            ///< least one subscriber join a leader)
+  u64 window_flushes = 0;   ///< cross-group staging-area flushes performed
+  u64 window_merged_groups = 0;  ///< groups whose finalization shared a
+                                 ///< window flush with at least one other
+                                 ///< group (counted per group)
 
   double total_sim_ms = 0.0;     ///< summed per-query simulated latency
   double calibration_sim_ms = 0.0;  ///< plan-cache probe work (cold starts)
@@ -94,17 +108,36 @@ class StatsCollector {
     stages_ += setup_stages;
   }
 
-  /// One batched group finalization: `launches` selection launches served
-  /// `queries` deferred queries. The kernel counters land in the aggregate
-  /// second-stage stats once (per-query breakdowns carry only their sim-ms
-  /// share, so the aggregate stays double-count-free).
-  void record_finalize(u64 launches, u64 queries,
+  /// One batched finalization: `launches` selection launches served
+  /// `queries` deferred/deduped queries across `groups` admission groups
+  /// (1 for a per-group finalization; a cross-group window flush passes
+  /// more). The kernel counters land in the aggregate second-stage stats
+  /// once (per-query breakdowns carry only their sim-ms share, so the
+  /// aggregate stays double-count-free).
+  void record_finalize(u64 launches, u64 groups, u64 queries,
                        const vgpu::KernelStats& second_stats) {
     std::lock_guard lk(mu_);
-    ++batched_groups_;
+    batched_groups_ += groups;
     batched_queries_ += queries;
     finalize_launches_ += launches;
     stages_.second_stats += second_stats;
+  }
+
+  /// One query joined an existing query class (Phase-A dedup) instead of
+  /// running its own phase A; `first_share` marks the class's first
+  /// subscriber (a singleton class is not counted — no sharing happened).
+  void record_dedup(bool first_share) {
+    std::lock_guard lk(mu_);
+    ++deduped_queries_;
+    if (first_share) ++dedup_classes_;
+  }
+
+  /// One cross-group staging-area flush finalized `groups` groups in a
+  /// shared launch sequence.
+  void record_window_flush(u64 groups) {
+    std::lock_guard lk(mu_);
+    ++window_flushes_;
+    if (groups > 1) window_merged_groups_ += groups;
   }
 
   /// One-time plan-calibration probe work (not part of any query's
@@ -137,6 +170,10 @@ class StatsCollector {
       s.batched_groups = batched_groups_;
       s.batched_queries = batched_queries_;
       s.finalize_launches = finalize_launches_;
+      s.deduped_queries = deduped_queries_;
+      s.dedup_classes = dedup_classes_;
+      s.window_flushes = window_flushes_;
+      s.window_merged_groups = window_merged_groups_;
       s.total_sim_ms = total_sim_ms_;
       s.calibration_sim_ms = calibration_sim_ms_;
       s.stages = stages_;
@@ -171,6 +208,10 @@ class StatsCollector {
   u64 batched_groups_ = 0;
   u64 batched_queries_ = 0;
   u64 finalize_launches_ = 0;
+  u64 deduped_queries_ = 0;
+  u64 dedup_classes_ = 0;
+  u64 window_flushes_ = 0;
+  u64 window_merged_groups_ = 0;
 };
 
 }  // namespace drtopk::serve

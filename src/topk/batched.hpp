@@ -65,6 +65,9 @@ enum class BatchedMode : u8 {
   kPerSegment,  ///< no batching: per-segment engine runs (the baseline)
 };
 
+/// Per-batch output: each segment's selected keys plus path/launch
+/// accounting (the serving layer's launch-count regression tests key off
+/// `launches`).
 template <class K>
 struct BatchedResult {
   /// Per segment: min(k, |segment|) keys sorted descending (selection-only
@@ -97,6 +100,18 @@ bool batched_multi_fits(const vgpu::GpuProfile& p, u64 n, u64 k) {
   const u64 merge_total =
       (slices - 1) * std::min(k, cap) + std::min(k, last_len);
   return merge_total <= cap;
+}
+
+/// The top rung of the capacity ladder, for callers that *accumulate*
+/// segments before one shared launch (the serving layer's cross-group
+/// finalization window): the segment count past which adding more stops
+/// amortizing launch overhead. One single-CTA problem occupies one CTA, so
+/// a few waves' worth of CTAs (4 x num_sms) already hides the ~5 us launch
+/// cost behind compute; parking further work past that only delays results
+/// that are ready to ship. Used as the default
+/// serve::ServerConfig::finalize_max_segments.
+inline u64 batched_segment_cap(const vgpu::GpuProfile& p) {
+  return std::max<u64>(1, static_cast<u64>(p.num_sms) * 4);
 }
 
 namespace detail {

@@ -412,6 +412,265 @@ TEST(Serve, BatchedStreamedSubmitsStayExact) {
   EXPECT_EQ(server.stats().failed, 0u);
 }
 
+TEST(Serve, DedupIdenticalQueriesShareOneClass) {
+  // N identical queries: one leader runs phase A, everyone else subscribes
+  // to its candidate span; results are bit-identical and exactly one query
+  // class forms.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 131);
+  std::span<const u32> vs(v.data(), v.size());
+  const auto expect = widen(reference_topk(vs, 100));
+
+  ServerConfig cfg;
+  cfg.executors = 1;  // deterministic grouping: one group
+  cfg.batch_max = 8;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(Query::view(vs, 100));
+  auto results = server.run_batch(queries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].values, expect) << i;
+    EXPECT_EQ(results[i].kth, expect.back()) << i;
+  }
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 8u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.dedup_classes, 1u);
+  EXPECT_EQ(s.deduped_queries, 7u);
+  // Everyone was delivered by the one batched finalization.
+  EXPECT_EQ(s.batched_queries, 8u);
+  EXPECT_EQ(s.batched_groups, 1u);
+}
+
+TEST(Serve, DedupMixedIdenticalAndDistinctQueries) {
+  // Only the identical members share a class; distinct ks still run their
+  // own phase A and everyone stays exact.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 133);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.batch_max = 8;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back(Query::view(vs, 64));
+  for (u64 k : {u64{33}, u64{128}, u64{256}, u64{512}})
+    queries.push_back(Query::view(vs, k));
+  auto results = server.run_batch(queries);
+  for (size_t i = 0; i < queries.size(); ++i)
+    EXPECT_EQ(results[i].values, widen(reference_topk(vs, queries[i].k)))
+        << i;
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.dedup_classes, 1u);    // only k=64 actually shared
+  EXPECT_EQ(s.deduped_queries, 3u);  // its three subscribers
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(Serve, DedupSelectionOnlySplitsTheClass) {
+  // Same k but different selection_only must NOT share a span-emission
+  // contract: two classes, both exact.
+  auto v = data::generate(1 << 15, Distribution::kUniform, 137);
+  std::span<const u32> vs(v.data(), v.size());
+  const auto full = widen(reference_topk(vs, 77));
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.batch_max = 8;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 3; ++i) queries.push_back(Query::view(vs, 77));
+  for (int i = 0; i < 3; ++i)
+    queries.push_back(Query::view(vs, 77, Criterion::kLargest,
+                                  /*selection_only=*/true));
+  auto results = server.run_batch(queries);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(results[i].values, full) << i;
+  for (int i = 3; i < 6; ++i) {
+    ASSERT_EQ(results[i].values.size(), 1u) << i;
+    EXPECT_EQ(results[i].kth, full.back()) << i;
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.dedup_classes, 2u);
+  EXPECT_EQ(s.deduped_queries, 4u);
+}
+
+TEST(Serve, DedupParityWithDedupOffAcrossMatrix) {
+  // Dedup on vs off over distributions x widths x criteria x duplicate
+  // patterns: bit-identical answers (the acceptance parity matrix).
+  auto a = data::generate(1 << 15, Distribution::kUniform, 141);
+  auto b = data::generate((1 << 14) + 99, Distribution::kNormal, 142);
+  auto c = data::generate(1 << 14, Distribution::kCustomized, 143);
+  std::vector<u64> d(1 << 13);
+  for (u64 i = 0; i < d.size(); ++i) d[i] = data::rand_u64(144, i);
+  std::span<const u32> as(a.data(), a.size());
+  std::span<const u32> bs(b.data(), b.size());
+  std::span<const u32> cs(c.data(), c.size());
+  std::span<const u64> dsn(d.data(), d.size());
+
+  std::vector<Query> queries;
+  for (int rep = 0; rep < 3; ++rep) {  // duplicates across every signature
+    for (u64 k : {u64{1}, u64{33}, u64{512}}) {
+      queries.push_back(Query::view(as, k));
+      queries.push_back(Query::view(bs, k, Criterion::kSmallest));
+      queries.push_back(Query::view(cs, k, Criterion::kLargest,
+                                    /*selection_only=*/true));
+      queries.push_back(Query::view(dsn, k));
+    }
+  }
+
+  ServerConfig on_cfg;
+  on_cfg.executors = 3;
+  on_cfg.dedup = true;
+  TopkServer on(shared_device(), on_cfg);
+  auto ron = on.run_batch(queries);
+
+  ServerConfig off_cfg;
+  off_cfg.executors = 3;
+  off_cfg.dedup = false;
+  TopkServer off(shared_device(), off_cfg);
+  auto roff = off.run_batch(queries);
+
+  ASSERT_EQ(ron.size(), roff.size());
+  for (size_t i = 0; i < ron.size(); ++i) {
+    EXPECT_EQ(ron[i].values, roff[i].values) << "query " << i;
+    EXPECT_EQ(ron[i].kth, roff[i].kth) << "query " << i;
+  }
+  EXPECT_GE(on.stats().deduped_queries, 1u);
+  EXPECT_EQ(off.stats().deduped_queries, 0u);
+}
+
+TEST(Serve, WindowMergesTwoCorporaIntoOneFinalizeLaunch) {
+  // Two admission groups on DIFFERENT corpora completing within the window
+  // must be finalized by ONE shared batched launch (the cross-group
+  // staging area): launch-count-asserted extension of the PR-3 regression
+  // test. The segment cap (5: above one group's four leaders, at or below
+  // two groups' worth even if a query resolves inline via the Rule-3 fast
+  // path) fires the flush as soon as the second group parks, so the test
+  // never waits out the generous window.
+  const u64 n = 1 << 15;
+  auto va = data::generate(n, Distribution::kUniform, 151);
+  auto vb = data::generate(n, Distribution::kNormal, 152);
+  std::span<const u32> as(va.data(), va.size());
+  std::span<const u32> bs(vb.data(), vb.size());
+
+  ServerConfig cfg;
+  cfg.executors = 2;  // the window owner blocks; the peer drains the rest
+  cfg.batch_max = 4;
+  cfg.finalize_window_us = 1'000'000;  // cap-triggered long before this
+  cfg.finalize_max_segments = 5;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (u64 k : {u64{32}, u64{64}, u64{96}, u64{128}})
+    queries.push_back(Query::view(as, k));
+  for (u64 k : {u64{32}, u64{64}, u64{96}, u64{128}})
+    queries.push_back(Query::view(bs, k));
+  auto results = server.run_batch(queries);
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(results[i].values, widen(reference_topk(as, queries[i].k)))
+        << i;
+  for (size_t i = 4; i < 8; ++i)
+    EXPECT_EQ(results[i].values, widen(reference_topk(bs, queries[i].k)))
+        << i;
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.batched_groups, 2u);
+  EXPECT_EQ(s.window_flushes, 1u);
+  EXPECT_EQ(s.window_merged_groups, 2u);
+  // THE assertion: both groups' (small, single-CTA) candidate segments
+  // rode one launch.
+  EXPECT_EQ(s.finalize_launches, 1u);
+}
+
+TEST(Serve, WindowZeroDedupOffReplaysPr3Behavior) {
+  // The PR-3 configuration (window=0, dedup=off) must be exactly
+  // reproducible: per-group finalization, one launch per warmed group, no
+  // dedup/window counters moving, answers bit-identical to defaults.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 155);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig pr3;
+  pr3.executors = 1;
+  pr3.batch_max = 8;
+  pr3.dedup = false;
+  pr3.finalize_window_us = 0;
+  TopkServer server(shared_device(), pr3);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(Query::view(vs, 64 + 8 * i));
+  (void)server.run_batch(queries);  // warm
+  const ServerStats warm = server.stats();
+  const int rounds = 2;
+  for (int r = 0; r < rounds; ++r) {
+    auto results = server.run_batch(queries);
+    for (size_t i = 0; i < queries.size(); ++i)
+      ASSERT_EQ(results[i].values, widen(reference_topk(vs, queries[i].k)))
+          << i;
+  }
+  const ServerStats after = server.stats();
+  EXPECT_EQ(after.groups - warm.groups, static_cast<u64>(rounds));
+  EXPECT_EQ(after.batched_groups - warm.batched_groups,
+            static_cast<u64>(rounds));
+  EXPECT_EQ(after.finalize_launches - warm.finalize_launches,
+            static_cast<u64>(rounds));
+  EXPECT_EQ(after.deduped_queries, 0u);
+  EXPECT_EQ(after.dedup_classes, 0u);
+  EXPECT_EQ(after.window_flushes, 0u);
+  EXPECT_EQ(after.window_merged_groups, 0u);
+}
+
+TEST(Serve, WindowSpanLifetimeStressAcrossGroups) {
+  // Span-lifetime stress: groups park in the staging area and are
+  // finalized by an executor that never ran them — their arena-backed
+  // candidate spans (dedup-shared included) must stay valid until the
+  // shared launch consumes them. Several rounds over four corpora with
+  // duplicate queries; everything must stay exact with zero failures.
+  const u64 n = 1 << 14;
+  std::vector<vgpu::device_vector<u32>> corpora;
+  for (u64 t = 0; t < 4; ++t)
+    corpora.push_back(data::generate(n, Distribution::kUniform, 161 + t));
+
+  ServerConfig cfg;
+  cfg.executors = 3;
+  cfg.batch_max = 4;
+  // The window is only the fallback bound: the cap (above one group's
+  // three leader segments, below two groups' worth) drives the flushes,
+  // so a straggler round costs at most 200ms instead of hanging the test.
+  cfg.finalize_window_us = 200'000;
+  cfg.finalize_max_segments = 4;  // force multi-group flushes
+  TopkServer server(shared_device(), cfg);
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Query> queries;
+    for (u64 t = 0; t < 4; ++t) {
+      std::span<const u32> vs(corpora[t].data(), corpora[t].size());
+      queries.push_back(Query::view(vs, 40));
+      queries.push_back(Query::view(vs, 40));  // dedup inside the window
+      queries.push_back(Query::view(vs, 80));
+      queries.push_back(Query::view(vs, 120));
+    }
+    auto results = server.run_batch(queries);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::span<const u32> vs = queries[i].data32();
+      ASSERT_EQ(results[i].values,
+                widen(reference_topk(vs, queries[i].k)))
+          << "round " << round << " query " << i;
+    }
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.completed, 64u);
+  EXPECT_GE(s.window_merged_groups, 2u);
+  EXPECT_GE(s.deduped_queries, 1u);
+}
+
 TEST(Serve, FallbackWhenDelegationInfeasible) {
   // k close to n: delegation infeasible, server must degrade to the direct
   // path and still answer exactly.
