@@ -11,6 +11,7 @@
 // Per-shape results (QPS, per-stage sim ms, stage-3 atomics, workspace
 // growth counters) land in the BENCH_PR2.json section "serve_throughput".
 #include "common.hpp"
+#include "obs/export.hpp"
 #include "serve/server.hpp"
 
 using namespace drtopk;
@@ -57,10 +58,11 @@ struct ServerRun {
 };
 
 /// Warm (calibration + arena growth across every executor) then measure
-/// `rounds` batches.
-ServerRun run_server(vgpu::Device& dev, const serve::ServerConfig& cfg,
-                     const std::vector<serve::Query>& qs, int rounds) {
-  serve::TopkServer server(dev, cfg);
+/// `rounds` batches on a caller-owned server — callers that need the
+/// server afterwards (trace/metrics dumps) use this directly.
+ServerRun measure_server(serve::TopkServer& server, vgpu::Device& dev,
+                         const std::vector<serve::Query>& qs, int rounds) {
+  const serve::ServerConfig& cfg = server.config();
   // Warm until arena growth converges: plans calibrate on the first
   // rounds, but how many pooled group arenas exist (and how large each
   // got) depends on scheduling concurrency, so a fixed warm count can
@@ -118,6 +120,13 @@ ServerRun run_server(vgpu::Device& dev, const serve::ServerConfig& cfg,
   return out;
 }
 
+/// Convenience wrapper: construct, warm, measure, discard the server.
+ServerRun run_server(vgpu::Device& dev, const serve::ServerConfig& cfg,
+                     const std::vector<serve::Query>& qs, int rounds) {
+  serve::TopkServer server(dev, cfg);
+  return measure_server(server, dev, qs, rounds);
+}
+
 /// Exactness cross-check: the batched and per-query servers must answer a
 /// shared workload bit-identically.
 bool check_parity(vgpu::Device& dev, serve::ServerConfig cfg,
@@ -165,14 +174,27 @@ int main(int argc, char** argv) {
   std::vector<u64> group_sizes = {1, 4, 16, 64};
   std::string json3 = "BENCH_PR3.json";
   std::string json5 = "BENCH_PR5.json";
+  std::string json6 = "BENCH_PR6.json";
+  std::string trace_path, prom_path;
+  bool breakdown = false;
   std::vector<double> dup_rates = {0.0, 0.25, 0.5};
   std::vector<u64> window_list = {0, 20000};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("serve_throughput extras: [--group-size=A,B,...]"
-                  " [--json3=PATH] [--json5=PATH] [--dup-rate=R,R,...]"
-                  " [--finalize-window-us=W,W,...]\n");
+                  " [--json3=PATH] [--json5=PATH] [--json6=PATH]"
+                  " [--dup-rate=R,R,...]"
+                  " [--finalize-window-us=W,W,...]"
+                  " [--trace=PATH] [--prom=PATH] [--breakdown]\n");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--prom=", 0) == 0) {
+      prom_path = arg.substr(7);
+    } else if (arg == "--breakdown") {
+      breakdown = true;
+    } else if (arg.rfind("--json6=", 0) == 0) {
+      json6 = arg.substr(8);
     } else if (arg.rfind("--dup-rate=", 0) == 0) {
       dup_rates.clear();
       bool in_range = true;
@@ -598,5 +620,149 @@ int main(int argc, char** argv) {
               " share one phase A and one\nfinalization segment; window:"
               " groups completing within --finalize-window-us share\nONE"
               " batched finalization launch (cross-corpus).\n");
+
+  // ------------------------------------------------------------------
+  // PR 6: observability. (a) tracing overhead: the same workload on fresh
+  // devices, tracing off vs on — the span rings are host-side only (zero
+  // simulated kernels), so the simulated-QPS ratio must stay within 3%
+  // and steady-state tracing must allocate nothing (both recorded for the
+  // CI gate, asserted here); (b) per-stage kernel breakdown of the
+  // tracing run, reconciled EXACTLY against the aggregate device ledger;
+  // (c) artifact dumps: Chrome trace (--trace=), Prometheus (--prom=).
+  // ------------------------------------------------------------------
+  // Distinct k per group member: a workload with duplicates would let the
+  // amount of work dedup collapses vary with claim timing, making the
+  // off/on QPS comparison noisy in both directions — with 16 distinct ks
+  // per group the simulated work is fully deterministic and the ratio is
+  // exactly 1.0 unless tracing itself launches kernels (the regression
+  // this section exists to catch).
+  const u64 q6 = 128;
+  std::vector<serve::Query> oqs;
+  for (u64 i = 0; i < q6; ++i)
+    oqs.push_back(serve::Query::view(span_of(doc), 32 * ((i % 16) + 1)));
+
+  serve::ServerConfig ocfg;
+  ocfg.executors = 4;
+  ocfg.batch_max = 16;
+  ocfg.max_in_flight = static_cast<u32>(q6);
+
+  vgpu::Device off_dev(vgpu::GpuProfile::v100s());
+  const ServerRun off = run_server(off_dev, ocfg, oqs, 2);
+
+  serve::ServerConfig on_cfg = ocfg;
+  on_cfg.obs.tracing = true;
+  vgpu::Device on_dev(vgpu::GpuProfile::v100s());
+  serve::TopkServer on_server(on_dev, on_cfg);
+  const ServerRun on = measure_server(on_server, on_dev, oqs, 2);
+
+  const double qps_ratio = on.qps / off.qps;
+  const bool ratio_ok = qps_ratio >= 0.97;
+  std::printf("\n%-20s %10s %10s %8s | %12s %10s\n", "observability",
+              "off QPS", "on QPS", "ratio", "steady grow", "unattrib");
+  std::printf("%-20s %10.1f %10.1f %7.3fx | %12llu %10llu %s\n",
+              "tracing overhead", off.qps, on.qps, qps_ratio,
+              static_cast<unsigned long long>(on.ws_growths_steady),
+              static_cast<unsigned long long>(on_dev.unattributed_launches()),
+              ratio_ok && on.ws_growths_steady == 0 ? "" : "  <-- FAIL");
+
+  // Distinct traced queries (phase-a spans carry the query id): the
+  // artifact must cover >= 100 queries for the trace to be a useful
+  // picture of steady-state batching.
+  const auto spans = on_server.tracer().snapshot();
+  std::vector<u64> traced_ids;
+  for (const auto& [lane, s] : spans)
+    if (std::string_view(s.name) == "phase-a") traced_ids.push_back(s.query);
+  std::sort(traced_ids.begin(), traced_ids.end());
+  traced_ids.erase(std::unique(traced_ids.begin(), traced_ids.end()),
+                   traced_ids.end());
+
+  // Per-stage breakdown, reconciled against the aggregate: the ledger adds
+  // the same KernelStats to the stage slot and the device total under one
+  // lock, so the u64 sums must match EXACTLY (no sampling, no drift).
+  const std::vector<vgpu::StageStats> stages = on_dev.stage_stats();
+  vgpu::KernelStats ssum;
+  double ssim = 0;
+  for (const vgpu::StageStats& st : stages) {
+    ssum += st.stats;
+    ssim += st.sim_ms;
+  }
+  const vgpu::KernelStats total = on_dev.total_stats();
+  const bool reconciles =
+      ssum.kernels_launched == total.kernels_launched &&
+      ssum.ctas_run == total.ctas_run &&
+      ssum.global_load_txns == total.global_load_txns &&
+      ssum.global_store_txns == total.global_store_txns &&
+      ssum.global_load_elems == total.global_load_elems &&
+      ssum.shfl_ops == total.shfl_ops &&
+      ssum.atomic_ops == total.atomic_ops;
+  if (breakdown) {
+    std::printf("\nper-stage kernel breakdown (tracing run, lifetime):\n%s",
+                obs::stage_table(stages).c_str());
+    std::printf("reconciles with aggregate: %s (unattributed launches:"
+                " %llu)\n",
+                reconciles ? "EXACT" : "MISMATCH",
+                static_cast<unsigned long long>(
+                    on_dev.unattributed_launches()));
+  }
+
+  bench::Json srows = bench::Json::array();
+  for (const vgpu::StageStats& st : stages) {
+    bench::Json row = bench::Json::object();
+    row.set("stage", st.stage)
+        .set("launches", st.stats.kernels_launched)
+        .set("ctas", st.stats.ctas_run)
+        .set("load_elems", st.stats.global_load_elems)
+        .set("atomics", st.stats.atomic_ops)
+        .set("sim_ms", st.sim_ms);
+    srows.push(std::move(row));
+  }
+
+  bench::Json oreport = bench::Json::object();
+  oreport.set("bench", "observability")
+      .set("logn", args.logn)
+      .set("seed", args.seed)
+      .set("executors", 4)
+      .set("queries", q6)
+      .set("qps_tracing_off", off.qps)
+      .set("qps_tracing_on", on.qps)
+      .set("qps_ratio", qps_ratio)
+      .set("qps_ratio_ok", ratio_ok)
+      .set("tracing_steady_ws_growths", on.ws_growths_steady)
+      .set("tracing_off_steady_ws_growths", off.ws_growths_steady)
+      .set("unattributed_launches", on_dev.unattributed_launches())
+      .set("traced_queries", static_cast<u64>(traced_ids.size()))
+      .set("trace_spans", static_cast<u64>(spans.size()))
+      .set("stage_breakdown_reconciles", reconciles)
+      .set("stage_sim_ms_total", ssim)
+      .set("aggregate_launches", total.kernels_launched)
+      .set("stages", std::move(srows));
+  bench::write_json_section(json6, "observability", oreport);
+
+  if (!trace_path.empty()) {
+    const bool ok = on_server.dump_trace(trace_path);
+    std::printf("trace: %s (%llu spans, %llu queries) -> %s\n",
+                ok ? "written" : "FAILED",
+                static_cast<unsigned long long>(spans.size()),
+                static_cast<unsigned long long>(traced_ids.size()),
+                trace_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    std::ofstream pf(prom_path);
+    pf << on_server.metrics_prometheus();
+    std::printf("prometheus: %s -> %s\n", pf.good() ? "written" : "FAILED",
+                prom_path.c_str());
+  }
+
+  if (!ratio_ok || on.ws_growths_steady != 0 ||
+      on_dev.unattributed_launches() != 0 || !reconciles) {
+    std::fprintf(stderr, "observability acceptance FAILED: ratio=%.3f"
+                         " growths=%llu unattributed=%llu reconciles=%d\n",
+                 qps_ratio,
+                 static_cast<unsigned long long>(on.ws_growths_steady),
+                 static_cast<unsigned long long>(
+                     on_dev.unattributed_launches()),
+                 static_cast<int>(reconciles));
+    return 1;
+  }
   return 0;
 }

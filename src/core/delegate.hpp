@@ -145,6 +145,9 @@ DelegateVector<K> build_delegate_vector(
     Accum& acc, std::span<const K> v, int alpha, u32 beta,
     const ConstructOpts& opts = {},
     vgpu::Workspace& ws = vgpu::tls_workspace()) {
+  // Stage 1 of the paper's pipeline. Defaulting scope: an enclosing label
+  // (e.g. serve's "calibrate") wins.
+  vgpu::StageScope stage_scope("construct");
   assert(beta >= 1 && beta <= kMaxBeta);
   assert(alpha >= 0);
   const u64 n = v.size();

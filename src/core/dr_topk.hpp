@@ -263,33 +263,43 @@ topk::TopkResult<K> dr_topk_from_delegates(
       !ext_kappa && !small_first && cfg.skip_last_first_iter && beta > 1 &&
       !cfg.kappa_hook && cfg.first_algo == topk::Algo::kRadixFlag;
   K kappa;
-  if (ext_kappa) {
-    // Stage 2 already resolved externally — one batched launch covered the
-    // whole admission group's thresholds. The value is exact, so the
-    // relaxation guard below never applies.
-    kappa = ds->kappa;
-  } else if (small_first) {
-    Accum a2(dev);
-    kappa = topk::small_topk_shared(a2, dkeys, k, /*selection_only=*/true)
-                .kth;
-    bd.first_ms = a2.sim_ms();
-    bd.first_stats = a2.stats();
-  } else if (cfg.first_algo == topk::Algo::kRadixFlag) {
-    Accum a2(dev);
-    kappa = relax ? topk::radix_kth_flag_relaxed(a2, dkeys, k, 1)
-                  : topk::radix_kth_flag(a2, dkeys, k);
-    bd.first_ms = a2.sim_ms();
-    bd.first_stats = a2.stats();
-  } else {
-    auto fr = topk::run_topk_keys(dev, dkeys, k, cfg.first_algo, ws);
-    kappa = fr.kth;
-    bd.first_ms = fr.sim_ms;
-    bd.first_stats = fr.stats;
+  {
+    // Defaulting stage scope: serve's "calibrate" (plan-cache probes) wins
+    // when present; otherwise first-top-k launches are charged to "first".
+    vgpu::StageScope stage2("first");
+    if (ext_kappa) {
+      // Stage 2 already resolved externally — one batched launch covered
+      // the whole admission group's thresholds. The value is exact, so the
+      // relaxation guard below never applies.
+      kappa = ds->kappa;
+    } else if (small_first) {
+      Accum a2(dev);
+      kappa = topk::small_topk_shared(a2, dkeys, k, /*selection_only=*/true)
+                  .kth;
+      bd.first_ms = a2.sim_ms();
+      bd.first_stats = a2.stats();
+    } else if (cfg.first_algo == topk::Algo::kRadixFlag) {
+      Accum a2(dev);
+      kappa = relax ? topk::radix_kth_flag_relaxed(a2, dkeys, k, 1)
+                    : topk::radix_kth_flag(a2, dkeys, k);
+      bd.first_ms = a2.sim_ms();
+      bd.first_stats = a2.stats();
+    } else {
+      auto fr = topk::run_topk_keys(dev, dkeys, k, cfg.first_algo, ws);
+      kappa = fr.kth;
+      bd.first_ms = fr.sim_ms;
+      bd.first_stats = fr.stats;
+    }
   }
   if (cfg.kappa_hook)
     kappa = static_cast<K>(cfg.kappa_hook(static_cast<u64>(kappa)));
 
   // ---- Stage 3: subrange classification + concatenation ----
+  // Named scope (no block): stage 4 below force-overrides it, and the
+  // relaxation guard relabels its recompute back to "first" — but only
+  // when this scope actually owns the ambient label (engaged()), so an
+  // enclosing "calibrate" is never clobbered.
+  vgpu::StageScope stage3("concat");
   Accum a3(dev);
   const u64 S = dv.num_subranges;
   u64 q_count = 0, partial_total = 0;
@@ -324,10 +334,15 @@ topk::TopkResult<K> dr_topk_from_delegates(
     // counts say were touched (kappa can only rise, so untaken subranges
     // stay untaken and their chunks are skipped wholesale).
     if (relax && cls.taken_total > 4 * k) {
-      Accum a2b(dev);
-      kappa = topk::radix_kth_flag(a2b, dkeys, k);
-      bd.first_ms += a2b.sim_ms();
-      bd.first_stats += a2b.stats();
+      {
+        // The exact-threshold recompute is first-top-k work: relabel it
+        // back to "first" (only when stage3 owns the ambient label).
+        vgpu::StageScope guard("first", /*force=*/stage3.engaged());
+        Accum a2b(dev);
+        kappa = topk::radix_kth_flag(a2b, dkeys, k);
+        bd.first_ms += a2b.sim_ms();
+        bd.first_stats += a2b.stats();
+      }
       classify_subranges_fused(a3, dkeys, S, beta, dv.alpha, n, kappa, cls,
                                /*reuse_taken=*/true);
     }
@@ -390,10 +405,13 @@ topk::TopkResult<K> dr_topk_from_delegates(
     classify();
     // Relaxation guard (legacy form: a full re-classification pass).
     if (relax && counters[2] > 4 * k) {
-      Accum a2b(dev);
-      kappa = topk::radix_kth_flag(a2b, dkeys, k);
-      bd.first_ms += a2b.sim_ms();
-      bd.first_stats += a2b.stats();
+      {
+        vgpu::StageScope guard("first", /*force=*/stage3.engaged());
+        Accum a2b(dev);
+        kappa = topk::radix_kth_flag(a2b, dkeys, k);
+        bd.first_ms += a2b.sim_ms();
+        bd.first_stats += a2b.stats();
+      }
       classify();
     }
     q_count = counters[0];
@@ -446,6 +464,9 @@ topk::TopkResult<K> dr_topk_from_delegates(
 
   // ---- Stage 4: second top-k (skipped entirely when Rule 3 leaves the
   // taken delegates as the exact answer — Figure 8b) ----
+  // Force-override stage3's ambient label; a defaulting scope would leave
+  // stage-4 launches charged to "concat". No launches follow this region.
+  vgpu::StageScope stage4("second", /*force=*/stage3.engaged());
   bd.second_skipped = (q_count == 0 && bd.taken_delegates == k);
   // Deferral requires caller-owned candidate storage: without alloc_cand
   // the span lives in this call's scratch scope and would dangle.
@@ -520,6 +541,9 @@ topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
     bd.alpha = alpha;
     bd.beta = beta;
     bd.fallback_direct = true;
+    // The direct run is the whole answer; charge it to the second
+    // selection, matching where its stats land in the breakdown.
+    vgpu::StageScope stage_scope("second");
     topk::TopkResult<K> result = topk::run_topk_keys(dev, v, k,
                                                      cfg.second_algo, ws);
     bd.second_ms = result.sim_ms;

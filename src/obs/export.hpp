@@ -1,0 +1,113 @@
+// Snapshot exporters for the metrics registry (Prometheus text format and
+// JSON) plus the paper-style per-stage kernel breakdown table.
+//
+// Prometheus output follows the text exposition format: `# HELP`/`# TYPE`
+// headers, histograms as cumulative `_bucket{le="..."}` series ending in
+// `+Inf`, plus `_sum` and `_count`. JSON output mirrors the same data for
+// programmatic consumers (bench reports, the future network front door).
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "vgpu/device.hpp"
+
+namespace drtopk::obs {
+
+/// Renders the registry in Prometheus text exposition format.
+inline std::string to_prometheus(const Registry& reg) {
+  std::ostringstream os;
+  for (const Registry::Entry* e : reg.entries()) {
+    if (!e->help.empty())
+      os << "# HELP " << e->name << " " << e->help << "\n";
+    switch (e->kind) {
+      case Registry::Kind::kCounter:
+        os << "# TYPE " << e->name << " counter\n";
+        os << e->name << " " << e->c->value() << "\n";
+        break;
+      case Registry::Kind::kGauge:
+        os << "# TYPE " << e->name << " gauge\n";
+        os << e->name << " " << e->g->value() << "\n";
+        break;
+      case Registry::Kind::kHistogram: {
+        os << "# TYPE " << e->name << " histogram\n";
+        for (const auto& [le, cum] : e->h->cumulative_buckets())
+          os << e->name << "_bucket{le=\"" << le << "\"} " << cum << "\n";
+        os << e->name << "_bucket{le=\"+Inf\"} " << e->h->count() << "\n";
+        os << e->name << "_sum " << e->h->sum() << "\n";
+        os << e->name << "_count " << e->h->count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+/// Renders the registry as a JSON object keyed by metric name. Counters
+/// and gauges map to numbers; histograms to
+/// {"count", "sum", "p50", "p90", "p99", "buckets": [[le, cumulative], ...]}.
+inline std::string to_json(const Registry& reg) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Registry::Entry* e : reg.entries()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << e->name << "\":";
+    switch (e->kind) {
+      case Registry::Kind::kCounter: os << e->c->value(); break;
+      case Registry::Kind::kGauge: os << e->g->value(); break;
+      case Registry::Kind::kHistogram: {
+        os << "{\"count\":" << e->h->count() << ",\"sum\":" << e->h->sum()
+           << ",\"p50\":" << e->h->percentile(0.50)
+           << ",\"p90\":" << e->h->percentile(0.90)
+           << ",\"p99\":" << e->h->percentile(0.99) << ",\"buckets\":[";
+        bool bfirst = true;
+        for (const auto& [le, cum] : e->h->cumulative_buckets()) {
+          if (!bfirst) os << ",";
+          bfirst = false;
+          os << "[" << le << "," << cum << "]";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Formats the per-stage kernel breakdown as an aligned text table —
+/// launches, CTAs, sector transactions (the paper's Table 3 unit), element
+/// accesses (Eq. 2-5), shuffles (Eq. 2), atomics (Section 4.2) and
+/// simulated milliseconds per stage, with a totals row.
+inline std::string stage_table(const std::vector<vgpu::StageStats>& stages) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "stage" << std::right << std::setw(10)
+     << "launches" << std::setw(10) << "ctas" << std::setw(14) << "sectors"
+     << std::setw(14) << "elems" << std::setw(12) << "shfl" << std::setw(12)
+     << "atomics" << std::setw(12) << "sim_ms" << "\n";
+  vgpu::KernelStats sum;
+  double sum_ms = 0.0;
+  for (const vgpu::StageStats& st : stages) {
+    os << std::left << std::setw(14) << st.stage << std::right << std::setw(10)
+       << st.stats.kernels_launched << std::setw(10) << st.stats.ctas_run
+       << std::setw(14) << st.stats.global_txns() << std::setw(14)
+       << st.stats.global_elems() << std::setw(12) << st.stats.shfl_ops
+       << std::setw(12) << st.stats.atomic_ops << std::setw(12) << std::fixed
+       << std::setprecision(3) << st.sim_ms << "\n";
+    sum += st.stats;
+    sum_ms += st.sim_ms;
+  }
+  os << std::left << std::setw(14) << "total" << std::right << std::setw(10)
+     << sum.kernels_launched << std::setw(10) << sum.ctas_run << std::setw(14)
+     << sum.global_txns() << std::setw(14) << sum.global_elems()
+     << std::setw(12) << sum.shfl_ops << std::setw(12) << sum.atomic_ops
+     << std::setw(12) << std::fixed << std::setprecision(3) << sum_ms << "\n";
+  return os.str();
+}
+
+}  // namespace drtopk::obs

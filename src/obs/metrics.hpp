@@ -1,0 +1,228 @@
+// Metrics registry: named counters, gauges and fixed-bucket log-scale
+// histograms with a lock-free hot path.
+//
+// This is the live-stats seam the serving layer exports through
+// (obs/export.hpp renders a Registry as Prometheus text or JSON): executors
+// bump atomics; a monitoring poll walks the registry without ever stalling
+// the record path. Histograms replace ServerStats' sort-the-whole-vector
+// percentile computation with streaming log-scale buckets — O(1) observe,
+// O(buckets) percentile, bounded memory forever.
+//
+// Bucket scheme ("HDR-lite"): each power-of-two octave is subdivided into
+// kSub = 8 linear sub-buckets, so the relative width of any bucket is at
+// most 1/8 — a percentile read off a bucket's upper bound overestimates
+// the exact order statistic by <= 12.5% (the tests pin "within one
+// bucket"). Values 0..7 get exact unit buckets; the ladder covers the full
+// u64 range in 496 buckets (~4 KB of atomics per histogram).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vgpu/types.hpp"
+
+namespace drtopk::obs {
+
+/// Monotonically increasing counter (lock-free).
+class Counter {
+ public:
+  void add(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Last-write-wins instantaneous value (lock-free). Exporters typically
+/// refresh gauges right before rendering (e.g. in-flight queries, arena
+/// high-water bytes).
+class Gauge {
+ public:
+  void set(u64 v) { v_.store(v, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Streaming log-scale histogram over non-negative integer samples
+/// (typically microseconds). observe() is a single relaxed atomic
+/// increment; percentile() walks the fixed bucket array and returns the
+/// inclusive upper bound of the bucket holding the requested rank.
+class Histogram {
+ public:
+  static constexpr u32 kSubBits = 3;          ///< 8 sub-buckets per octave
+  static constexpr u32 kSub = 1u << kSubBits;
+  /// Buckets 0..kSub-1 are exact unit buckets; octave t >= 1 spans
+  /// [2^(t+kSubBits-1), 2^(t+kSubBits)) in kSub linear slices.
+  static constexpr u32 kBuckets = (64 - kSubBits + 1) * kSub;
+
+  /// Bucket index of a sample (monotone non-decreasing in v).
+  static u32 bucket_of(u64 v) {
+    if (v < kSub) return static_cast<u32>(v);
+    const u32 msb = static_cast<u32>(std::bit_width(v)) - 1;  // >= kSubBits
+    const u32 sub = static_cast<u32>(v >> (msb - kSubBits)) & (kSub - 1);
+    return (msb - kSubBits + 1) * kSub + sub;
+  }
+
+  /// Inclusive upper bound of bucket `b` (the value percentile() reports).
+  static u64 bucket_limit(u32 b) {
+    if (b < kSub) return b;
+    const u32 t = b / kSub;        // octave (>= 1)
+    const u32 sub = b % kSub;
+    const u32 msb = t + kSubBits - 1;
+    const u64 width = u64{1} << (msb - kSubBits);
+    return (u64{1} << msb) + sub * width + width - 1;
+  }
+
+  void observe(u64 v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of the bucket holding the q-quantile sample (q in (0, 1]).
+  /// 0 when empty. Overestimates the exact order statistic by at most one
+  /// bucket width (<= 12.5% relative).
+  u64 percentile(double q) const {
+    const u64 n = count();
+    if (n == 0) return 0;
+    u64 rank = static_cast<u64>(q * static_cast<double>(n) + 0.9999999);
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    u64 cum = 0;
+    for (u32 b = 0; b < kBuckets; ++b) {
+      cum += buckets_[b].load(std::memory_order_relaxed);
+      if (cum >= rank) return bucket_limit(b);
+    }
+    return bucket_limit(kBuckets - 1);
+  }
+
+  /// Non-empty buckets as (upper bound, cumulative count) pairs — the
+  /// Prometheus-histogram rendering (cumulative, ascending le).
+  std::vector<std::pair<u64, u64>> cumulative_buckets() const {
+    std::vector<std::pair<u64, u64>> out;
+    u64 cum = 0;
+    for (u32 b = 0; b < kBuckets; ++b) {
+      const u64 c = buckets_[b].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      cum += c;
+      out.emplace_back(bucket_limit(b), cum);
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<u64> buckets_[kBuckets]{};
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+};
+
+/// Named-metric registry. Registration (counter()/gauge()/histogram())
+/// takes a mutex and is meant for startup paths; the returned references
+/// are stable for the registry's lifetime and their record paths are
+/// lock-free. Re-registering a name returns the existing metric;
+/// registering it as a different kind throws.
+///
+/// Metric names should be Prometheus-safe ([a-zA-Z_][a-zA-Z0-9_]*) — the
+/// exporters emit them verbatim.
+class Registry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// One registered metric (exactly one of c/g/h is set, per kind).
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Counter& counter(const std::string& name, const std::string& help = "") {
+    Entry& e = find_or_create(name, help, Kind::kCounter);
+    return *e.c;
+  }
+
+  Gauge& gauge(const std::string& name, const std::string& help = "") {
+    Entry& e = find_or_create(name, help, Kind::kGauge);
+    return *e.g;
+  }
+
+  Histogram& histogram(const std::string& name,
+                       const std::string& help = "") {
+    Entry& e = find_or_create(name, help, Kind::kHistogram);
+    return *e.h;
+  }
+
+  /// Lookup without creation; nullptr when absent or a different kind.
+  const Histogram* find_histogram(const std::string& name) const {
+    std::lock_guard lk(mu_);
+    for (const Entry& e : entries_)
+      if (e.name == name && e.kind == Kind::kHistogram) return e.h.get();
+    return nullptr;
+  }
+
+  /// Lookup without creation; nullptr when absent or a different kind.
+  const Counter* find_counter(const std::string& name) const {
+    std::lock_guard lk(mu_);
+    for (const Entry& e : entries_)
+      if (e.name == name && e.kind == Kind::kCounter) return e.c.get();
+    return nullptr;
+  }
+
+  /// Stable pointers to every entry, sorted by name (deterministic export
+  /// order). Entries live as long as the registry, so the snapshot stays
+  /// valid after the lock is dropped.
+  std::vector<const Entry*> entries() const {
+    std::vector<const Entry*> out;
+    {
+      std::lock_guard lk(mu_);
+      out.reserve(entries_.size());
+      for (const Entry& e : entries_) out.push_back(&e);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Entry* a, const Entry* b) { return a->name < b->name; });
+    return out;
+  }
+
+ private:
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        Kind kind) {
+    std::lock_guard lk(mu_);
+    for (Entry& e : entries_) {
+      if (e.name != name) continue;
+      if (e.kind != kind)
+        throw std::logic_error("obs::Registry: metric '" + name +
+                               "' re-registered as a different kind");
+      return e;
+    }
+    Entry e;
+    e.name = name;
+    e.help = help;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.c = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.g = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.h = std::make_unique<Histogram>(); break;
+    }
+    entries_.push_back(std::move(e));
+    return entries_.back();
+  }
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  ///< deque: stable Entry addresses
+};
+
+}  // namespace drtopk::obs

@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/query.hpp"
 
@@ -43,6 +44,8 @@ struct Pending {
   Query query;
   std::promise<QueryResult> promise;
   topk::WallTimer admitted;  ///< wall-clock from admission to completion
+  u64 enqueue_ts_us = 0;     ///< tracer timestamp at admission — queue-wait
+                             ///< span start and histogram sample
 };
 
 /// Sentinel class id: this deferred item shares its span with nobody
@@ -65,6 +68,8 @@ struct DeferredItem {
   /// shares this span: finalization fans the segment's result out to the
   /// class's subscribers as well. kNoQueryClass: this item alone.
   u32 class_id = kNoQueryClass;
+  u64 park_ts_us = 0;  ///< tracer timestamp when this item parked (the
+                       ///< deferred-park span runs from here to finalize)
 };
 
 /// A parked dedup subscriber: a query identical to its class leader,
@@ -107,6 +112,10 @@ struct Group {
   u64 n = 0;
   KeyWidth width = KeyWidth::k32;
   data::Criterion criterion = data::Criterion::kLargest;
+
+  u64 seq = 0;          ///< admission order (1-based); trace span grouping
+  u64 park_ts_us = 0;   ///< tracer timestamp when the group parked in the
+                        ///< cross-group finalization window
 
   // Deque: stable element references under late admission (push_back).
   std::deque<Pending> items;
@@ -174,9 +183,13 @@ struct Group {
 /// once max_in_flight queries are pending (see the file comment).
 class AdmissionQueue {
  public:
-  AdmissionQueue(u32 batch_max, u32 max_in_flight)
+  /// `tracer` (optional) records enqueue/group-open instants on the submit
+  /// lane and stamps Pending::enqueue_ts_us for queue-wait spans.
+  AdmissionQueue(u32 batch_max, u32 max_in_flight,
+                 obs::Tracer* tracer = nullptr)
       : batch_max_(std::max(1u, batch_max)),
-        max_in_flight_(std::max(1u, max_in_flight)) {}
+        max_in_flight_(std::max(1u, max_in_flight)),
+        tracer_(tracer) {}
 
   /// Admits one query (blocking while the in-flight bound is reached) and
   /// returns its result future.
@@ -250,6 +263,12 @@ class AdmissionQueue {
           out.item = &g.items[index];
           out.amortize_over = index < g.setup_items ? g.setup_items : 0;
           out.needs_setup = false;
+          // Claim accounting for pool_idle(): incremented in the SAME
+          // critical section as the claim, so there is never a moment
+          // where the last item left the queue but is not yet counted as
+          // running (a parked finalize window keying off pool_idle()
+          // would otherwise flush early and split the merge).
+          ++running_;
           // Fully claimed: leave the queue (which also ends admission, so
           // the item count is final — the batched finalizer keys off it).
           if (g.next == g.items.size()) {
@@ -272,6 +291,30 @@ class AdmissionQueue {
       g->runnable = true;
     }
     work_cv_.notify_all();
+  }
+
+  /// Marks one claimed item's *execution* finished (the pool_idle()
+  /// counterpart of the ++running_ in next()). Returns true when the pool
+  /// just went idle — no queued groups, no running claims — which is the
+  /// queue-empty early-flush signal for a parked finalization window.
+  bool finish_running() {
+    std::lock_guard lk(mu_);
+    --running_;
+    return queue_.empty() && running_ == 0;
+  }
+
+  /// Re-acquires a running claim (a window owner that released its claim
+  /// with finish_running() before parking takes it back after waking).
+  void resume_running() {
+    std::lock_guard lk(mu_);
+    ++running_;
+  }
+
+  /// True when no group is queued and no claimed item is still executing.
+  /// A group under setup is still queued, so it keeps the pool busy.
+  bool pool_idle() const {
+    std::lock_guard lk(mu_);
+    return queue_.empty() && running_ == 0;
   }
 
   /// Marks one item finished; releases backpressure and drain waiters.
@@ -311,6 +354,9 @@ class AdmissionQueue {
     Pending p;
     p.id = next_id_++;
     p.query = std::move(q);
+    // Stamped whether or not tracing is on: the queue-wait histogram (a
+    // steady_clock read + one atomic) is part of the always-live metrics.
+    if (tracer_) p.enqueue_ts_us = tracer_->now_us();
     auto fut = p.promise.get_future();
 
     // Youngest-first scan over the queued (hence still-open) groups, so
@@ -323,22 +369,30 @@ class AdmissionQueue {
         break;
       }
     }
+    const u64 qid = p.id;
+    u64 gseq = 0;
     if (host) {
+      gseq = host->seq;
       host->items.push_back(std::move(p));
     } else {
       auto g = std::make_shared<Group>();
+      g->seq = ++group_seq_;
+      gseq = g->seq;
       g->data_id = p.query.data_id();
       g->n = p.query.n();
       g->width = p.query.width();
       g->criterion = p.query.criterion;
       g->items.push_back(std::move(p));
       queue_.push_back(std::move(g));
+      if (tracer_) tracer_->instant(0, "group-open", qid, gseq);
     }
+    if (tracer_) tracer_->instant(0, "enqueue", qid, gseq);
     return fut;
   }
 
   const u32 batch_max_;
   const u32 max_in_flight_;
+  obs::Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // executors: new claimable work
@@ -346,7 +400,9 @@ class AdmissionQueue {
   std::condition_variable idle_cv_;   // drain(): a query completed
   std::deque<std::shared_ptr<Group>> queue_;
   u64 in_flight_ = 0;
+  u64 running_ = 0;   // claimed items whose execution has not finished
   u64 next_id_ = 0;
+  u64 group_seq_ = 0;
   bool stop_ = false;
 };
 

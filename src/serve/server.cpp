@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/export.hpp"
 #include "topk/batched.hpp"
 
 namespace drtopk::serve {
@@ -60,8 +61,15 @@ TopkServer::TopkServer(vgpu::Device& dev, ServerConfig cfg)
     : dev_(dev),
       cfg_(cfg),
       plans_(cfg.plan),
-      queue_(cfg.batch_max, cfg.max_in_flight),
-      collector_(std::max(1u, cfg.executors)) {
+      tracer_(cfg.obs.tracing, std::max(1u, cfg.executors) + 1,
+              cfg.obs.trace_capacity),
+      queue_(cfg.batch_max, cfg.max_in_flight, &tracer_),
+      collector_(std::max(1u, cfg.executors), registry_,
+                 cfg.obs.exact_percentiles) {
+  queue_wait_us_ = &registry_.histogram(
+      "serve_queue_wait_us", "Admission-to-claim wait per query (us)");
+  group_size_ = &registry_.histogram(
+      "serve_group_size", "Queries per admission group at close");
   // Resolve the window's early-flush segment cap once: the configured value
   // or the batched engine's capacity-ladder ceiling for this device.
   stage_cap_ = cfg_.finalize_max_segments
@@ -129,13 +137,50 @@ ServerStats TopkServer::stats() const {
   return s;
 }
 
+std::string TopkServer::metrics_prometheus() const {
+  return obs::to_prometheus(registry_);
+}
+
+std::string TopkServer::metrics_json() const {
+  return obs::to_json(registry_);
+}
+
+bool TopkServer::dump_trace(const std::string& path) const {
+  if (!tracer_.enabled()) return false;
+  return tracer_.export_chrome_file(path);
+}
+
+void TopkServer::item_done() {
+  const bool idle = queue_.finish_running();
+  if (!idle || !cfg_.window_early_flush) return;
+  // The pool just went idle: nothing else can join a parked finalization
+  // window, so wake its owner (queue-empty early flush). Taking stage_.mu
+  // orders this notify against the owner's predicate evaluation — the
+  // wakeup cannot fall between its check and its wait.
+  std::lock_guard lk(stage_.mu);
+  if (stage_.owner_waiting) stage_.cv.notify_all();
+}
+
 void TopkServer::executor_loop(u32 executor_id) {
   AdmissionQueue::Claim c;
+  const bool tracing = tracer_.enabled();
   while (queue_.next(c)) {
     if (c.needs_setup) {
+      const u64 t0 = tracing ? tracer_.now_us() : 0;
       setup_group(*c.group, executor_id);
       queue_.publish(c.group);
+      if (tracing)
+        tracer_.complete(lane(executor_id), "group-setup", 0, c.group->seq,
+                         t0, tracer_.now_us());
     } else {
+      if (c.item->enqueue_ts_us != 0) {
+        const u64 now = tracer_.now_us();
+        const u64 waited = now - c.item->enqueue_ts_us;
+        if (queue_wait_us_) queue_wait_us_->observe(waited);
+        if (tracing)
+          tracer_.complete(lane(executor_id), "queue-wait", c.item->id,
+                           c.group->seq, c.item->enqueue_ts_us, now);
+      }
       execute_item(*c.group, *c.item, c.amortize_over, executor_id);
       // Group-completion bookkeeping (and, for the executor completing the
       // last item, the batched finalization of every parked query) happens
@@ -145,6 +190,10 @@ void TopkServer::executor_loop(u32 executor_id) {
       // staging-area flush for the same reason.
       if (!maybe_finalize_group(c.group, executor_id))
         queue_.finish_item(c.group);
+      // Release the claim's running slot LAST — in particular after any
+      // window deposit above — so pool_idle() (the queue-empty early-flush
+      // predicate) can never be true while a deposit is still on its way.
+      item_done();
     }
     c.group.reset();
   }
@@ -194,8 +243,15 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
   g.plan_key = PlanCache::make_key(values, kmax, g.criterion);
   if (cfg_.use_plan_cache) {
     bool hit = false;
-    CachedPlan cp = plans_.resolve<T>(dev_, values, kmax, g.criterion,
-                                      cfg_.base, &hit, ews);
+    CachedPlan cp;
+    {
+      // Probe launches are one-time tuning, not steady-state pipeline
+      // work: the ambient label keeps them out of the per-stage breakdown
+      // (the probes' internal stage scopes all default to it).
+      vgpu::StageScope calibrate("calibrate");
+      cp = plans_.resolve<T>(dev_, values, kmax, g.criterion, cfg_.base,
+                             &hit, ews);
+    }
     g.plan = cp.plan;
     g.plan_hit = hit;
     g.plan_resolved = true;
@@ -233,18 +289,24 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
     g.ws->reset_peak();  // measure THIS shape's construction footprint
     topk::Accum acc(dev_);
     std::span<const Key> keyspan;
-    if (topk::key_is_identity<T>(g.criterion)) {
-      keyspan = values;  // Key == T for u32/u64
-    } else {
-      group_keys<Key>(g) =
-          topk::make_directed_keys(acc, values, g.criterion, *g.ws);
-      g.keys_materialized = true;
-      keyspan = group_keys<Key>(g);
+    {
+      // Key conversion + shared delegate construction are the group's
+      // phase-A pass: both charge to "construct".
+      vgpu::StageScope construct("construct");
+      if (topk::key_is_identity<T>(g.criterion)) {
+        keyspan = values;  // Key == T for u32/u64
+      } else {
+        group_keys<Key>(g) =
+            topk::make_directed_keys(acc, values, g.criterion, *g.ws);
+        g.keys_materialized = true;
+        keyspan = group_keys<Key>(g);
+      }
+      core::ConstructOpts copts = cfg_.base.construct;
+      if (cfg_.base.fused_concat) copts.emit_sids = false;
+      group_dv<Key>(g) = core::build_delegate_vector<Key>(acc, keyspan,
+                                                          alpha, beta, copts,
+                                                          *g.ws);
     }
-    core::ConstructOpts copts = cfg_.base.construct;
-    if (cfg_.base.fused_concat) copts.emit_sids = false;
-    group_dv<Key>(g) = core::build_delegate_vector<Key>(acc, keyspan, alpha,
-                                                        beta, copts, *g.ws);
     g.has_delegates = true;
     g.plan.alpha = alpha;
     g.plan.beta = beta;
@@ -275,6 +337,8 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
         segs.reserve(ks.size());
         for (const u64 k : ks)
           segs.push_back({dkeys, k, k, /*selection_only=*/true});
+        // The batched kappa launch is the group's shared first top-k.
+        vgpu::StageScope first("first");
         topk::Accum acc2(dev_);
         auto br = topk::batched_topk<Key>(
             acc2, std::span<const topk::BatchedSegment<Key>>(segs),
@@ -303,10 +367,16 @@ void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
     vgpu::Workspace& ws = *exec_ws_[executor_id];
     if (g.plan_exec_ws) ws.reserve_bytes(g.plan_exec_ws);
     ws.reset_peak();  // per-query footprint, not this arena's lifetime peak
+    const u64 t0 = tracer_.enabled() ? tracer_.now_us() : 0;
     QueryResult r =
         g.width == KeyWidth::k64
-            ? run_item_typed<u64>(g, p, amortize_over, ws, &deferred)
-            : run_item_typed<u32>(g, p, amortize_over, ws, &deferred);
+            ? run_item_typed<u64>(g, p, amortize_over, ws, &deferred,
+                                  executor_id)
+            : run_item_typed<u32>(g, p, amortize_over, ws, &deferred,
+                                  executor_id);
+    if (tracer_.enabled())
+      tracer_.complete(lane(executor_id), "phase-a", p.id, g.seq, t0,
+                       tracer_.now_us());
     if (g.plan_resolved)
       plans_.note_workspace(g.plan_key, 0, ws.peak_bytes());
     // Work actually performed here: a fused item's breakdown holds only its
@@ -334,15 +404,17 @@ bool TopkServer::maybe_finalize_group(const std::shared_ptr<Group>& gp,
                                       u32 executor_id) {
   Group& g = *gp;
   bool finalize = false;
+  bool last = false;
   {
     std::lock_guard lk(g.batch_mu);
     ++g.executed;
     // Admission closed (final_items frozen) and every item's phase A done:
     // the group is complete. Exactly one executor observes the transition.
-    finalize = g.closed.load(std::memory_order_acquire) &&
-               g.executed == g.final_items &&
-               (!g.def32.empty() || !g.def64.empty());
+    last = g.closed.load(std::memory_order_acquire) &&
+           g.executed == g.final_items;
+    finalize = last && (!g.def32.empty() || !g.def64.empty());
   }
+  if (last && group_size_) group_size_->observe(g.final_items);
   if (!finalize) return false;
 
   if (cfg_.finalize_window_us == 0) {
@@ -355,12 +427,16 @@ bool TopkServer::maybe_finalize_group(const std::shared_ptr<Group>& gp,
   // Cross-group finalization window: park the group in the staging area.
   // The first parker becomes the window owner — it blocks here (at most
   // finalize_window_us, woken early once the parked segments reach the
-  // capacity-ladder cap) while every other executor keeps draining
-  // queries, then flushes all staged groups in one shared launch sequence.
-  // Later parkers just deposit and go back to claiming work.
+  // capacity-ladder cap OR the executor pool drains empty — nothing else
+  // could join) while every other executor keeps draining queries, then
+  // flushes all staged groups in one shared launch sequence. Later parkers
+  // just deposit and go back to claiming work.
+  const bool tracing = tracer_.enabled();
   std::vector<std::shared_ptr<Group>> staged;
+  bool early = false;
   {
     std::unique_lock lk(stage_.mu);
+    if (tracing) g.park_ts_us = tracer_.now_us();
     stage_.groups.push_back(gp);
     stage_.segments += g.def32.size() + g.def64.size();
     if (stage_.owner_waiting) {
@@ -369,19 +445,39 @@ bool TopkServer::maybe_finalize_group(const std::shared_ptr<Group>& gp,
       return true;
     }
     stage_.owner_waiting = true;
+    // Release this claim's running slot before parking: the owner's own
+    // item is done executing, and holding the slot would keep pool_idle()
+    // false forever (the early flush could never fire). Until this line
+    // the slot was held, so no other executor can have observed an idle
+    // pool before owner_waiting was set — the wakeup cannot be missed.
+    queue_.finish_running();
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(cfg_.finalize_window_us);
-    while (stage_.segments < stage_cap_ &&
-           stage_.cv.wait_until(lk, deadline) != std::cv_status::timeout) {
+    while (stage_.segments < stage_cap_) {
+      if (cfg_.window_early_flush && queue_.pool_idle()) {
+        early = true;
+        break;
+      }
+      if (stage_.cv.wait_until(lk, deadline) == std::cv_status::timeout)
+        break;
     }
     staged.swap(stage_.groups);
     stage_.segments = 0;
     stage_.owner_waiting = false;
   }
+  // Take the running slot back: executor_loop releases it once per claim
+  // (item_done), and the flush below is still this claim's work.
+  queue_.resume_running();
+  if (tracing) {
+    const u64 flush_ts = tracer_.now_us();
+    for (const auto& sg : staged)
+      tracer_.complete(lane(executor_id), "window-park", 0, sg->seq,
+                       sg->park_ts_us, flush_ts);
+  }
   // Window stats before any promise is fulfilled (snapshot coherence, same
   // discipline as record_finalize below).
-  collector_.record_window_flush(staged.size());
+  collector_.record_window_flush(staged.size(), early);
   finalize_groups(staged, executor_id);
   // Release the in-flight slot each staged group's last item was holding
   // (its claimant skipped finish_item when it parked) — ours included.
@@ -451,12 +547,26 @@ void TopkServer::finalize_groups_typed(
   for (const Ref& r : refs)
     segs.push_back({r.d->cand, r.d->k, r.d->out.id, r.d->selection_only});
 
+  const bool tracing = tracer_.enabled();
+  const u64 t_flush = tracing ? tracer_.now_us() : 0;
+  if (tracing) {
+    // Close each parked item's deferred-park span: parked at phase-A
+    // completion, resolved by this flush.
+    for (const Ref& r : refs)
+      tracer_.complete(lane(executor_id), "deferred-park", r.d->out.id,
+                       r.g->seq, r.d->park_ts_us, t_flush);
+  }
+
   vgpu::Workspace& ws = *exec_ws_[executor_id];
   vgpu::Workspace::Scope scope(ws);
   topk::Accum acc(dev_);
+  vgpu::StageScope second("second");  // the groups' shared second top-k
   auto br = topk::batched_topk<Key>(
       acc, std::span<const topk::BatchedSegment<Key>>(segs),
       topk::BatchedMode::kAuto, ws);
+  if (tracing)
+    tracer_.complete(lane(executor_id), "batched-finalize", 0,
+                     refs.front().g->seq, t_flush, tracer_.now_us());
 
   // Deliveries = parked leaders plus their dedup subscribers: the count
   // that shares the launch's cost and lands in batched_queries.
@@ -483,6 +593,7 @@ void TopkServer::finalize_groups_typed(
   // One launch sequence served every group; each delivered query's latency
   // carries an equal share (the kernel counters were recorded once at
   // batch level above), so the shares sum to exactly the cost paid once.
+  const u64 t_fanout = tracing ? tracer_.now_us() : 0;
   const double share = acc.sim_ms() / static_cast<double>(deliveries);
   for (size_t i = 0; i < refs.size(); ++i) {
     DeferredItem<Key>& d = *refs[i].d;
@@ -516,11 +627,15 @@ void TopkServer::finalize_groups_typed(
     d.item = nullptr;  // fulfilled: the failure path must not touch it again
     item->promise.set_value(std::move(d.out));
   }
+  if (tracing)
+    tracer_.complete(lane(executor_id), "fan-out", 0, refs.front().g->seq,
+                     t_fanout, tracer_.now_us());
 }
 
 template <class T>
 QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
-                                       vgpu::Workspace& ws, bool* deferred) {
+                                       vgpu::Workspace& ws, bool* deferred,
+                                       u32 executor_id) {
   using Key = typename data::KeyTraits<T>::Key;
   const Query& q = p.query;
   QueryResult out;
@@ -584,6 +699,8 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
               g.setup_sim_ms / static_cast<double>(amortize_over);
         collector_.record_dedup(!cls.shared);
         cls.shared = true;
+        if (tracer_.enabled())
+          tracer_.instant(lane(executor_id), "dedup-subscribe", p.id, g.seq);
         if (cls.inline_ready) {
           // The leader already resolved without deferring: self-serve.
           out.values = cls.inline_values;
@@ -653,6 +770,7 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
         d.criterion = q.criterion;
         d.selection_only = q.selection_only;
         d.class_id = class_id;
+        if (tracer_.enabled()) d.park_ts_us = tracer_.now_us();
         {
           std::lock_guard lk(g.batch_mu);
           group_deferred<Key>(g).push_back(std::move(d));
@@ -697,6 +815,7 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
         cls.inline_kth = out.kth;
         subs.swap(cls.subs);
       }
+      const u64 t0 = tracer_.enabled() && !subs.empty() ? tracer_.now_us() : 0;
       for (DedupSub& sub : subs) {
         sub.out.values = out.values;
         sub.out.kth = out.kth;
@@ -705,6 +824,9 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
                                 sub.out.fused);
         sub.item->promise.set_value(std::move(sub.out));
       }
+      if (tracer_.enabled() && !subs.empty())
+        tracer_.complete(lane(executor_id), "fan-out", p.id, g.seq, t0,
+                         tracer_.now_us());
     }
   } else {
     // Unfused fallback: delegation infeasible for this shape (or setup

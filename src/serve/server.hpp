@@ -31,11 +31,30 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/stats.hpp"
 
 namespace drtopk::serve {
+
+/// Observability knobs (docs/OBSERVABILITY.md). Everything here is off by
+/// default so the zero-allocation hot path and the committed BENCH_*
+/// baselines are unaffected; the metrics registry itself is always live
+/// (its record path is a handful of relaxed atomics).
+struct ObsOptions {
+  /// Record per-query trace spans (queue wait, phase A, parks, finalize,
+  /// fan-out) into per-executor rings; export with TopkServer::dump_trace.
+  bool tracing = false;
+  /// Ring capacity in spans per lane (executors + 1 lanes). Pre-reserved
+  /// at server construction, so steady-state tracing allocates nothing.
+  u64 trace_capacity = u64{1} << 13;
+  /// Compute stats() percentiles by exact-sorting a latency reservoir (the
+  /// pre-histogram behavior) instead of reading the streaming histogram.
+  /// Debug/parity flag: snapshots get strictly more expensive.
+  bool exact_percentiles = false;
+};
 
 /// Server tuning knobs. Every optimization keeps its predecessor
 /// measurable: `batched_select=false` replays the PR-2 per-query hot path,
@@ -83,6 +102,16 @@ struct ServerConfig {
   /// already fills the GPU only delays ready results. 0 = auto:
   /// topk::batched_segment_cap for the server's device.
   u32 finalize_max_segments = 0;
+  /// Queue-empty early flush for the finalization window: the parked
+  /// window owner is woken as soon as the executor pool goes idle (no
+  /// queued groups, no running items) — nothing else can possibly join
+  /// the window, so waiting out the timer would be pure added latency.
+  /// In particular a single-executor server stops paying the full
+  /// finalize_window_us on every group. `false` replays the PR-5
+  /// timer/cap-only behavior.
+  bool window_early_flush = true;
+  /// Observability: tracing, trace ring capacity, exact-percentile debug.
+  ObsOptions obs;
 };
 
 /// The batched multi-query top-k server (see the file comment for the
@@ -119,6 +148,26 @@ class TopkServer {
   /// Peak arena bytes in use across all server workspaces.
   u64 workspace_high_water() const;
 
+  /// The live metrics registry (counters, gauges, latency histograms).
+  /// Always populated — the record path is lock-free — whether or not
+  /// tracing is enabled.
+  obs::Registry& metrics() { return registry_; }
+  const obs::Registry& metrics() const { return registry_; }
+
+  /// Metrics snapshot in Prometheus text exposition format.
+  std::string metrics_prometheus() const;
+
+  /// Metrics snapshot as a JSON object keyed by metric name.
+  std::string metrics_json() const;
+
+  /// The per-query trace recorder (disabled unless ObsOptions::tracing).
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  /// Writes the recorded trace as Chrome trace_event JSON (load at
+  /// chrome://tracing). Returns false when tracing is off or the file
+  /// cannot be opened.
+  bool dump_trace(const std::string& path) const;
+
   const PlanCache& plan_cache() const { return plans_; }
   vgpu::Device& device() { return dev_; }
   const ServerConfig& config() const { return cfg_; }
@@ -154,14 +203,27 @@ class TopkServer {
   void setup_group_typed(Group& g, u32 executor_id);
   template <class T>
   QueryResult run_item_typed(Group& g, Pending& p, u64 amortize_over,
-                             vgpu::Workspace& ws, bool* deferred);
+                             vgpu::Workspace& ws, bool* deferred,
+                             u32 executor_id);
   template <class T>
   void finalize_groups_typed(std::span<const std::shared_ptr<Group>> groups,
                              u32 executor_id);
+  /// Releases one claim's running slot (AdmissionQueue::finish_running)
+  /// and, when the pool just went idle, wakes a parked window owner so the
+  /// queue-empty early flush fires.
+  void item_done();
+  /// Trace lane of an executor (lane 0 is the submit path).
+  static u32 lane(u32 executor_id) { return executor_id + 1; }
 
   vgpu::Device& dev_;
   ServerConfig cfg_;
   PlanCache plans_;
+  /// Declared before queue_/collector_: the queue holds a tracer pointer
+  /// and the collector registers its metrics here (member init order).
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  obs::Histogram* queue_wait_us_ = nullptr;  ///< admission -> claim (us)
+  obs::Histogram* group_size_ = nullptr;     ///< queries per admission group
   /// Recycled workspaces backing each group's shared delegate vector
   /// (leases keep the pool's shared state alive, so group teardown order
   /// is a non-issue).

@@ -5,6 +5,13 @@
 // group-shared work). Aggregate throughput uses the *makespan*: the largest
 // per-executor sum of simulated work — concurrent executors overlap, so
 // completed / makespan is the modeled steady-state QPS of the deployment.
+//
+// The collector double-publishes: coherent snapshot fields under one mutex
+// (TopkServer::stats()), and lock-free obs::Registry metrics for live
+// export (Prometheus/JSON). Percentiles come from a streaming log-scale
+// histogram — O(1) per query, O(buckets) per snapshot — instead of sorting
+// a latency vector; the exact-sort reservoir survives only behind
+// ObsOptions::exact_percentiles for parity testing.
 #pragma once
 
 #include <algorithm>
@@ -13,6 +20,7 @@
 
 #include "core/dr_topk.hpp"
 #include "data/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace drtopk::serve {
 
@@ -43,6 +51,9 @@ struct ServerStats {
   u64 window_merged_groups = 0;  ///< groups whose finalization shared a
                                  ///< window flush with at least one other
                                  ///< group (counted per group)
+  u64 window_early_flushes = 0;  ///< window flushes triggered by the
+                                 ///< queue-empty early-flush path rather
+                                 ///< than the timer or the segment cap
 
   double total_sim_ms = 0.0;     ///< summed per-query simulated latency
   double calibration_sim_ms = 0.0;  ///< plan-cache probe work (cold starts)
@@ -69,28 +80,71 @@ struct ServerStats {
   }
 };
 
-/// Thread-safe accumulator behind TopkServer::stats().
+/// Thread-safe accumulator behind TopkServer::stats(). Mirrors every
+/// counter into the obs::Registry (lock-free reads for Prometheus/JSON
+/// export) while keeping the mutex-guarded fields for coherent snapshots.
 class StatsCollector {
  public:
-  explicit StatsCollector(u32 executors) : per_executor_(executors, 0.0) {}
+  /// With `exact_percentiles` the collector additionally keeps the
+  /// reservoir of raw latency samples and computes snapshot percentiles by
+  /// sorting it (the pre-histogram behavior, kept for parity tests and
+  /// debugging); otherwise percentiles read the streaming histogram.
+  StatsCollector(u32 executors, obs::Registry& reg,
+                 bool exact_percentiles = false)
+      : per_executor_(executors, 0.0),
+        exact_percentiles_(exact_percentiles),
+        latency_us_(reg.histogram("serve_latency_sim_us",
+                                  "Per-query simulated latency (us)")),
+        m_completed_(reg.counter("serve_queries_completed",
+                                 "Queries answered successfully")),
+        m_failed_(reg.counter("serve_queries_failed",
+                              "Queries rejected or failed")),
+        m_groups_(reg.counter("serve_groups", "Admission groups executed")),
+        m_fused_(reg.counter("serve_fused_queries",
+                             "Queries served from a group-shared delegate")),
+        m_batched_groups_(reg.counter(
+            "serve_batched_groups",
+            "Groups finalized with a batched second top-k")),
+        m_batched_queries_(reg.counter(
+            "serve_batched_queries",
+            "Queries finalized inside a batched second top-k")),
+        m_finalize_launches_(reg.counter(
+            "serve_finalize_launches",
+            "Selection launches spent finalizing groups")),
+        m_deduped_(reg.counter("serve_deduped_queries",
+                               "Queries served from another query's phase A")),
+        m_dedup_classes_(reg.counter("serve_dedup_classes",
+                                     "Query classes that actually shared")),
+        m_window_flushes_(reg.counter("serve_window_flushes",
+                                      "Cross-group staging-area flushes")),
+        m_window_merged_(reg.counter(
+            "serve_window_merged_groups",
+            "Groups that shared a window flush with another group")),
+        m_early_flushes_(reg.counter(
+            "serve_window_early_flushes",
+            "Window flushes triggered by queue-empty early flush")) {}
 
-  /// Latency samples are reservoir-bounded: a long-running server must not
-  /// grow memory per query, and percentile snapshots must not sort an
-  /// ever-growing vector. Up to kLatencyReservoir samples are exact; beyond
-  /// that, uniform (deterministic) replacement keeps the percentiles an
-  /// unbiased estimate over the whole history.
+  /// Reservoir bound for the exact-percentiles debug path: a long-running
+  /// server must not grow memory per query. Up to kLatencyReservoir samples
+  /// are exact; beyond that, uniform (deterministic) replacement keeps the
+  /// percentiles an unbiased estimate over the whole history.
   static constexpr size_t kLatencyReservoir = 1 << 16;
 
   void record_query(double sim_latency_ms,
                     const core::StageBreakdown& stages, bool fused) {
+    latency_us_.observe(to_us(sim_latency_ms));
+    m_completed_.add();
+    if (fused) m_fused_.add();
     std::lock_guard lk(mu_);
     ++completed_;
-    if (latencies_.size() < kLatencyReservoir) {
-      latencies_.push_back(sim_latency_ms);
-    } else {
-      const u64 slot = data::rand_u64(0x5ee0, completed_) % completed_;
-      if (slot < kLatencyReservoir)
-        latencies_[static_cast<size_t>(slot)] = sim_latency_ms;
+    if (exact_percentiles_) {
+      if (latencies_.size() < kLatencyReservoir) {
+        latencies_.push_back(sim_latency_ms);
+      } else {
+        const u64 slot = data::rand_u64(0x5ee0, completed_) % completed_;
+        if (slot < kLatencyReservoir)
+          latencies_[static_cast<size_t>(slot)] = sim_latency_ms;
+      }
     }
     total_sim_ms_ += sim_latency_ms;
     stages_ += stages;
@@ -98,11 +152,13 @@ class StatsCollector {
   }
 
   void record_failure() {
+    m_failed_.add();
     std::lock_guard lk(mu_);
     ++failed_;
   }
 
   void record_group(const core::StageBreakdown& setup_stages) {
+    m_groups_.add();
     std::lock_guard lk(mu_);
     ++groups_;
     stages_ += setup_stages;
@@ -116,6 +172,9 @@ class StatsCollector {
   /// aggregate stays double-count-free).
   void record_finalize(u64 launches, u64 groups, u64 queries,
                        const vgpu::KernelStats& second_stats) {
+    m_batched_groups_.add(groups);
+    m_batched_queries_.add(queries);
+    m_finalize_launches_.add(launches);
     std::lock_guard lk(mu_);
     batched_groups_ += groups;
     batched_queries_ += queries;
@@ -127,17 +186,24 @@ class StatsCollector {
   /// running its own phase A; `first_share` marks the class's first
   /// subscriber (a singleton class is not counted — no sharing happened).
   void record_dedup(bool first_share) {
+    m_deduped_.add();
+    if (first_share) m_dedup_classes_.add();
     std::lock_guard lk(mu_);
     ++deduped_queries_;
     if (first_share) ++dedup_classes_;
   }
 
   /// One cross-group staging-area flush finalized `groups` groups in a
-  /// shared launch sequence.
-  void record_window_flush(u64 groups) {
+  /// shared launch sequence; `early` marks the queue-empty early-flush
+  /// trigger (vs timer expiry or the segment cap).
+  void record_window_flush(u64 groups, bool early = false) {
+    m_window_flushes_.add();
+    if (groups > 1) m_window_merged_.add(groups);
+    if (early) m_early_flushes_.add();
     std::lock_guard lk(mu_);
     ++window_flushes_;
     if (groups > 1) window_merged_groups_ += groups;
+    if (early) ++window_early_flushes_;
   }
 
   /// One-time plan-calibration probe work (not part of any query's
@@ -155,9 +221,11 @@ class StatsCollector {
   }
 
   /// Snapshot with percentiles; plan counters are merged in by the caller
-  /// (they live in the PlanCache). The reservoir is copied under the lock
-  /// but sorted after release, so a monitoring poll never stalls the
-  /// executors' record_* calls for the duration of a 64k-element sort.
+  /// (they live in the PlanCache). Percentiles come from the streaming
+  /// histogram (a fixed-size bucket walk), so a monitoring poll never
+  /// stalls the executors' record_* calls for the duration of a
+  /// 64k-element sort; exact_percentiles restores the sort (outside the
+  /// lock, on a copy) for parity testing.
   ServerStats snapshot() const {
     ServerStats s;
     std::vector<double> sorted;
@@ -174,29 +242,39 @@ class StatsCollector {
       s.dedup_classes = dedup_classes_;
       s.window_flushes = window_flushes_;
       s.window_merged_groups = window_merged_groups_;
+      s.window_early_flushes = window_early_flushes_;
       s.total_sim_ms = total_sim_ms_;
       s.calibration_sim_ms = calibration_sim_ms_;
       s.stages = stages_;
       for (double w : per_executor_)
         s.makespan_sim_ms = std::max(s.makespan_sim_ms, w);
-      sorted = latencies_;
+      if (exact_percentiles_) sorted = latencies_;
     }
-    if (!sorted.empty()) {
-      std::sort(sorted.begin(), sorted.end());
-      const auto at = [&](double q) {
-        const size_t i = static_cast<size_t>(
-            q * static_cast<double>(sorted.size() - 1));
-        return sorted[i];
-      };
-      s.p50_sim_ms = at(0.5);
-      s.p99_sim_ms = at(0.99);
+    if (exact_percentiles_) {
+      if (!sorted.empty()) {
+        std::sort(sorted.begin(), sorted.end());
+        const auto at = [&](double q) {
+          const size_t i = static_cast<size_t>(
+              q * static_cast<double>(sorted.size() - 1));
+          return sorted[i];
+        };
+        s.p50_sim_ms = at(0.5);
+        s.p99_sim_ms = at(0.99);
+      }
+    } else {
+      s.p50_sim_ms = static_cast<double>(latency_us_.percentile(0.5)) / 1e3;
+      s.p99_sim_ms = static_cast<double>(latency_us_.percentile(0.99)) / 1e3;
     }
     return s;
   }
 
  private:
+  static u64 to_us(double ms) {
+    return ms <= 0.0 ? 0 : static_cast<u64>(ms * 1e3 + 0.5);
+  }
+
   mutable std::mutex mu_;
-  std::vector<double> latencies_;  ///< reservoir, <= kLatencyReservoir
+  std::vector<double> latencies_;  ///< reservoir; exact_percentiles only
   std::vector<double> per_executor_;
   core::StageBreakdown stages_;
   double total_sim_ms_ = 0.0;
@@ -212,6 +290,22 @@ class StatsCollector {
   u64 dedup_classes_ = 0;
   u64 window_flushes_ = 0;
   u64 window_merged_groups_ = 0;
+  u64 window_early_flushes_ = 0;
+
+  bool exact_percentiles_;
+  obs::Histogram& latency_us_;
+  obs::Counter& m_completed_;
+  obs::Counter& m_failed_;
+  obs::Counter& m_groups_;
+  obs::Counter& m_fused_;
+  obs::Counter& m_batched_groups_;
+  obs::Counter& m_batched_queries_;
+  obs::Counter& m_finalize_launches_;
+  obs::Counter& m_deduped_;
+  obs::Counter& m_dedup_classes_;
+  obs::Counter& m_window_flushes_;
+  obs::Counter& m_window_merged_;
+  obs::Counter& m_early_flushes_;
 };
 
 }  // namespace drtopk::serve

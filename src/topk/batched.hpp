@@ -161,6 +161,8 @@ BatchedResult<K> batched_topk(Accum& acc,
                               std::span<const BatchedSegment<K>> segs,
                               BatchedMode mode = BatchedMode::kAuto,
                               vgpu::Workspace& ws = vgpu::tls_workspace()) {
+  // Defaulting scope: serve's "first"/"second" call-site labels win.
+  vgpu::StageScope stage_scope("batched");
   BatchedResult<K> r;
   r.keys.resize(segs.size());
   const vgpu::GpuProfile& prof = acc.device().profile();

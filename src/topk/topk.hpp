@@ -55,6 +55,9 @@ std::span<typename data::KeyTraits<T>::Key> make_directed_keys(
     Accum& acc, std::span<const T> v, Criterion c,
     vgpu::Workspace& ws = vgpu::tls_workspace()) {
   using Key = typename data::KeyTraits<T>::Key;
+  // Key mapping is pre-pipeline work; defaulting scope so an enclosing
+  // stage label (e.g. serve's phase-A attribution) wins.
+  vgpu::StageScope stage_scope("keys");
   std::span<Key> out = ws.alloc<Key>(v.size());
   auto cfg = stream_launch(acc.device(), v.size(), "to_keys");
   acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
@@ -92,6 +95,9 @@ template <class K>
 TopkResult<K> run_topk_keys(vgpu::Device& dev, std::span<const K> keys,
                             u64 k, Algo algo,
                             vgpu::Workspace& ws = vgpu::tls_workspace()) {
+  // Standalone engine runs (benchmarks, tests) get a stage label of their
+  // own; inside the Dr. Top-k pipeline the enclosing stage scope wins.
+  vgpu::StageScope stage_scope("engine");
   switch (algo) {
     case Algo::kRadixFlag:
       return radix_topk_flag(dev, keys, k);

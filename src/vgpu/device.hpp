@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <span>
 #include <string>
@@ -29,6 +30,55 @@ struct Launch {
   u32 num_ctas = 1;
   u32 warps_per_cta = 8;
   u64 shared_bytes = 0;
+  /// Pipeline-stage label for per-stage KernelStats attribution. Must point
+  /// at a string with static storage duration. When null, the launch
+  /// inherits the ambient StageScope; with no scope either it is charged to
+  /// the "unattributed" bucket (CI gates on that bucket staying empty).
+  const char* stage = nullptr;
+};
+
+/// RAII ambient stage label (thread-local). Library entry points open a
+/// defaulting scope — it only takes effect when no caller already
+/// established one — so outer context wins: serve's "calibrate" scope keeps
+/// plan-cache probe launches out of the steady-state stage ledger even
+/// though the probes run the regular pipeline underneath. Pass
+/// `force = true` to relabel within an enclosing scope (used for the
+/// stage-3 relaxation guard, whose recomputation is charged back to the
+/// first selection).
+class StageScope {
+ public:
+  explicit StageScope(const char* stage, bool force = false) {
+    if (force || active_ == nullptr) {
+      saved_ = active_;
+      active_ = stage;
+      engaged_ = true;
+    }
+  }
+  ~StageScope() {
+    if (engaged_) active_ = saved_;
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  /// True when this scope actually set the ambient label (i.e. it was the
+  /// outermost scope, or forced).
+  bool engaged() const { return engaged_; }
+
+  /// The ambient stage label on this thread, or null.
+  static const char* active() { return active_; }
+
+ private:
+  static inline thread_local const char* active_ = nullptr;
+  const char* saved_ = nullptr;
+  bool engaged_ = false;
+};
+
+/// Per-stage aggregate: KernelStats plus simulated time attributed to one
+/// stage label.
+struct StageStats {
+  std::string stage;
+  KernelStats stats;
+  double sim_ms = 0.0;
 };
 
 /// Execution context handed to the kernel, one per CTA.
@@ -129,10 +179,16 @@ class Device {
     s.ctas_run = cfg.num_ctas;
 
     const double ms = cost_.kernel_ms(s);
+    const char* stage = cfg.stage ? cfg.stage : StageScope::active();
     {
       std::lock_guard lk(mu_);
       total_ += s;
       total_sim_ms_ += ms;
+      // The stage ledger adds the *same* KernelStats under the *same* lock,
+      // so per-stage totals reconcile exactly with total_stats().
+      StageSlot& slot = stages_[stage ? stage : "unattributed"];
+      slot.stats += s;
+      slot.sim_ms += ms;
     }
     return s;
   }
@@ -144,6 +200,7 @@ class Device {
     std::lock_guard lk(mu_);
     total_ = KernelStats{};
     total_sim_ms_ = 0.0;
+    stages_.clear();
   }
 
   KernelStats total_stats() const {
@@ -154,6 +211,26 @@ class Device {
   double total_sim_ms() const {
     std::lock_guard lk(mu_);
     return total_sim_ms_;
+  }
+
+  /// Per-stage kernel-stats breakdown, sorted by stage label. Summing the
+  /// returned KernelStats reproduces total_stats() exactly (same counters
+  /// added under the same lock).
+  std::vector<StageStats> stage_stats() const {
+    std::vector<StageStats> out;
+    std::lock_guard lk(mu_);
+    out.reserve(stages_.size());
+    for (const auto& [name, slot] : stages_)
+      out.push_back(StageStats{name, slot.stats, slot.sim_ms});
+    return out;
+  }
+
+  /// Kernel launches that carried no stage label (neither explicit nor
+  /// ambient). CI gates on this staying zero for served queries.
+  u64 unattributed_launches() const {
+    std::lock_guard lk(mu_);
+    auto it = stages_.find("unattributed");
+    return it == stages_.end() ? 0 : it->second.stats.kernels_launched;
   }
 
   /// Grid geometry for a workload of `items` independent warp-sized work
@@ -185,9 +262,15 @@ class Device {
   CostModel cost_;
   ThreadPool pool_;
 
+  struct StageSlot {
+    KernelStats stats;
+    double sim_ms = 0.0;
+  };
+
   mutable std::mutex mu_;
   KernelStats total_;
   double total_sim_ms_ = 0.0;
+  std::map<std::string, StageSlot> stages_;
 };
 
 /// std::vector that skips zero-initialization on resize — the device-buffer

@@ -671,6 +671,80 @@ TEST(Serve, WindowSpanLifetimeStressAcrossGroups) {
   EXPECT_GE(s.deduped_queries, 1u);
 }
 
+TEST(Serve, WindowEarlyFlushFiresWhenPoolGoesIdle) {
+  // Queue-empty early flush: a single-executor server with an absurdly
+  // long window must NOT pay it — once the pool is idle (one group, fully
+  // executed, nothing queued) nothing can join the window, so the parked
+  // owner flushes immediately. The wall-clock bound is the whole point:
+  // without the early flush this test would sit out the full two seconds.
+  const u64 n = 1 << 15;
+  auto v = data::generate(n, Distribution::kNormal, 171);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.batch_max = 8;
+  cfg.finalize_window_us = 2'000'000;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i)
+    queries.push_back(Query::view(vs, 32 + 32 * static_cast<u64>(i)));
+
+  topk::WallTimer wall;
+  auto results = server.run_batch(queries);
+  const double elapsed_ms = wall.ms();
+
+  for (size_t i = 0; i < queries.size(); ++i)
+    EXPECT_EQ(results[i].values, widen(reference_topk(vs, queries[i].k)))
+        << i;
+  EXPECT_LT(elapsed_ms, 1000.0);  // far below the 2 s window
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GE(s.window_flushes, 1u);
+  EXPECT_GE(s.window_early_flushes, 1u);
+  EXPECT_EQ(s.window_early_flushes, s.window_flushes);
+}
+
+TEST(Serve, WindowEarlyFlushOffReplaysTimerOnlyBehavior) {
+  // The `window_early_flush=false` escape hatch replays PR-5: a
+  // single-executor owner waits out the full window (no peers to cap-flush
+  // it), so elapsed time is bounded BELOW by the window. Keeps the
+  // early-flush win measurable against its predecessor.
+  const u64 n = 1 << 14;
+  auto v = data::generate(n, Distribution::kNormal, 173);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.batch_max = 4;
+  cfg.finalize_window_us = 50'000;
+  cfg.window_early_flush = false;
+  TopkServer server(shared_device(), cfg);
+
+  std::vector<Query> queries;
+  for (u64 k : {u64{32}, u64{64}, u64{96}, u64{128}})
+    queries.push_back(Query::view(vs, k));
+
+  topk::WallTimer wall;
+  auto results = server.run_batch(queries);
+  const double elapsed_ms = wall.ms();
+
+  for (size_t i = 0; i < queries.size(); ++i)
+    EXPECT_EQ(results[i].values, widen(reference_topk(vs, queries[i].k)))
+        << i;
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.failed, 0u);
+  if (s.window_flushes > 0) {
+    // The group actually parked (stage 4 deferred): the owner must have
+    // waited out the timer, and no early flush may be recorded.
+    EXPECT_GE(elapsed_ms, 50.0);
+    EXPECT_EQ(s.window_early_flushes, 0u);
+  }
+}
+
 TEST(Serve, FallbackWhenDelegationInfeasible) {
   // k close to n: delegation infeasible, server must degrade to the direct
   // path and still answer exactly.
