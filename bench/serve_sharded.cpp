@@ -1,0 +1,199 @@
+// Sharded serving scaling: serve::ShardedTopkServer at 2 and 4 shards
+// against the single-device TopkServer on the SAME corpus and query mix —
+// the PR-7 gate. The corpus is framed as 4x one device's nominal capacity
+// (recorded as capacity_ratio), so the single-device baseline is the
+// honest "it still fits, barely" configuration the sharded deployment has
+// to beat on throughput, not just capacity.
+//
+// Throughput is simulated-GPU: a deployment's makespan is the largest
+// per-shard balanced-fleet time (each shard's summed per-query sim work
+// over its executor count — shards run concurrently) plus the serialized
+// cross-shard merge time; QPS = queries / makespan. The single-device
+// number uses the same formula with one shard and no merge, matching
+// bench_serve_throughput's balanced-fleet discipline. Results land in
+// BENCH_PR7.json section "serve_sharded"; CI gates on cross-shard parity
+// and the 2-shard gain.
+#include "common.hpp"
+#include "serve/sharded.hpp"
+
+using namespace drtopk;
+
+namespace {
+
+/// The benchmark's query mix: a handful of distinct-k queries per round.
+/// Distinct ks keep the dedup layer from collapsing the round, and a SMALL
+/// round keeps each query's cost dominated by its share of the corpus-
+/// proportional construction scan — the regime data sharding targets. The
+/// opposite regime (many tiny queries, per-query launch overhead bound) is
+/// what bench_serve_throughput measures; sharding cannot help there and
+/// this benchmark does not pretend otherwise.
+std::vector<u64> query_ks() { return {64, 128, 256, 512}; }
+
+struct DeployRun {
+  double qps = 0;
+  double makespan_ms = 0;   ///< balanced-fleet makespan of measured rounds
+  double merge_ms = 0;      ///< serialized merge share of the makespan
+  u64 served = 0;
+  u64 merge_launches = 0;
+  u64 merge_batches = 0;
+  u64 unattributed = 0;
+  std::vector<std::vector<u64>> values;  ///< measured answers, parity input
+};
+
+/// Per-shard balanced-fleet time: summed per-query sim work over the
+/// executor count (deterministic, unlike the raw scheduling-dependent
+/// makespan — same reasoning as bench_serve_throughput).
+double balanced_ms(const serve::ServerStats& after,
+                   const serve::ServerStats& warm, u32 executors) {
+  return (after.total_sim_ms - warm.total_sim_ms) /
+         static_cast<double>(executors);
+}
+
+DeployRun run_sharded(u32 shards, std::span<const u32> corpus,
+                      const std::vector<u64>& ks, int rounds) {
+  serve::ShardedConfig cfg;
+  cfg.num_shards = shards;
+  cfg.min_shard_elems = 1;  // spread the corpus over every shard
+  serve::ShardedTopkServer srv(cfg);
+  const auto corpus_id = srv.register_corpus(corpus);
+
+  auto round = [&] {
+    std::vector<std::future<serve::QueryResult>> fs;
+    fs.reserve(ks.size());
+    for (u64 k : ks) fs.push_back(srv.submit(corpus_id, k));
+    std::vector<std::vector<u64>> vals;
+    vals.reserve(fs.size());
+    for (auto& f : fs) vals.push_back(f.get().values);
+    return vals;
+  };
+
+  // Warm until every shard's arena growth converges (plan calibration +
+  // pool sizing), then measure.
+  (void)round();
+  (void)round();
+  for (int w = 0, calm = 0; w < 12 && calm < 2; ++w) {
+    const u64 before = srv.workspace_growths();
+    (void)round();
+    calm = srv.workspace_growths() == before ? calm + 1 : 0;
+  }
+  srv.drain();
+  std::vector<serve::ServerStats> warm_shard;
+  for (u32 s = 0; s < shards; ++s) warm_shard.push_back(srv.shard(s).stats());
+  const auto warm = srv.stats();
+
+  DeployRun out;
+  for (int r = 0; r < rounds; ++r) {
+    auto vals = round();
+    out.values.insert(out.values.end(), vals.begin(), vals.end());
+  }
+  srv.drain();
+  const auto after = srv.stats();
+
+  double worst_shard = 0.0;
+  for (u32 s = 0; s < shards; ++s)
+    worst_shard = std::max(
+        worst_shard, balanced_ms(srv.shard(s).stats(), warm_shard[s],
+                                 cfg.shard.executors));
+  out.merge_ms = after.merge_sim_ms - warm.merge_sim_ms;
+  out.makespan_ms = worst_shard + out.merge_ms;
+  out.served = after.completed - warm.completed;
+  out.qps = static_cast<double>(out.served) * 1e3 / out.makespan_ms;
+  out.merge_launches = after.merge_launches - warm.merge_launches;
+  out.merge_batches = after.merge_batches - warm.merge_batches;
+  out.unattributed = srv.unattributed_launches();
+  return out;
+}
+
+DeployRun run_single(std::span<const u32> corpus, const std::vector<u64>& ks,
+                     int rounds) {
+  vgpu::Device dev(vgpu::GpuProfile::v100s());
+  serve::TopkServer srv(dev);
+  std::vector<serve::Query> qs;
+  for (u64 k : ks) qs.push_back(serve::Query::view(corpus, k));
+
+  (void)srv.run_batch(qs);
+  (void)srv.run_batch(qs);
+  for (int w = 0, calm = 0; w < 12 && calm < 2; ++w) {
+    const u64 before = srv.workspace_growths();
+    (void)srv.run_batch(qs);
+    calm = srv.workspace_growths() == before ? calm + 1 : 0;
+  }
+  const auto warm = srv.stats();
+
+  DeployRun out;
+  for (int r = 0; r < rounds; ++r) {
+    auto res = srv.run_batch(qs);
+    for (auto& qr : res) out.values.push_back(std::move(qr.values));
+  }
+  const auto after = srv.stats();
+  out.served = after.completed - warm.completed;
+  out.makespan_ms = balanced_ms(after, warm, srv.config().executors);
+  out.qps = static_cast<double>(out.served) * 1e3 / out.makespan_ms;
+  out.unattributed = dev.unattributed_launches();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  args.default_logn(27);
+  bench::print_title("PR-7", "sharded serving scaling (ShardedTopkServer)",
+                     args);
+
+  const u64 n = args.n();
+  auto v = data::generate(n, data::Distribution::kUniform, args.seed);
+  std::span<const u32> corpus(v.data(), v.size());
+  const std::vector<u64> ks = query_ks();
+  const int rounds = 3;
+
+  const DeployRun single = run_single(corpus, ks, rounds);
+  const DeployRun two = run_sharded(2, corpus, ks, rounds);
+  const DeployRun four = run_sharded(4, corpus, ks, rounds);
+
+  auto parity = [&](const DeployRun& d) {
+    return d.values == single.values;
+  };
+  const bool parity2 = parity(two);
+  const bool parity4 = parity(four);
+  const double gain2 = two.qps / single.qps;
+  const double gain4 = four.qps / single.qps;
+
+  std::printf("%-14s %10s %12s %12s %10s %8s\n", "deployment", "qps",
+              "makespan", "merge_ms", "gain", "parity");
+  std::printf("%-14s %10.1f %12.3f %12.3f %10s %8s\n", "single", single.qps,
+              single.makespan_ms, 0.0, "1.00x", "-");
+  std::printf("%-14s %10.1f %12.3f %12.3f %9.2fx %8s\n", "2-shard", two.qps,
+              two.makespan_ms, two.merge_ms, gain2, parity2 ? "ok" : "FAIL");
+  std::printf("%-14s %10.1f %12.3f %12.3f %9.2fx %8s\n", "4-shard", four.qps,
+              four.makespan_ms, four.merge_ms, gain4, parity4 ? "ok" : "FAIL");
+
+  bench::Json report = bench::Json::object();
+  report.set("n", n)
+      .set("device_capacity_elems", n / 4)
+      .set("capacity_ratio", 4.0)
+      .set("queries_per_round", static_cast<u64>(ks.size()))
+      .set("rounds", static_cast<u64>(rounds))
+      .set("qps_single", single.qps)
+      .set("qps_2shard", two.qps)
+      .set("qps_4shard", four.qps)
+      .set("gain_2shard", gain2)
+      .set("gain_4shard", gain4)
+      .set("parity_2shard", parity2)
+      .set("parity_4shard", parity4)
+      .set("merge_sim_ms_2shard", two.merge_ms)
+      .set("merge_sim_ms_4shard", four.merge_ms)
+      .set("merge_launches_2shard", two.merge_launches)
+      .set("merge_launches_4shard", four.merge_launches)
+      .set("merge_batches_4shard", four.merge_batches)
+      .set("unattributed_launches",
+           single.unattributed + two.unattributed + four.unattributed);
+  const std::string path = args.json.empty() ? "BENCH_PR7.json" : args.json;
+  bench::write_json_section(path, "serve_sharded", report);
+
+  if (!parity2 || !parity4) {
+    std::printf("PARITY FAILURE\n");
+    return 1;
+  }
+  return 0;
+}

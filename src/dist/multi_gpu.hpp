@@ -22,6 +22,7 @@
 #pragma once
 
 #include "core/dr_topk.hpp"
+#include "dist/topology.hpp"
 #include "mpi/comm.hpp"
 
 namespace drtopk::dist {
@@ -69,8 +70,8 @@ inline MultiGpuResult multi_gpu_topk(std::span<const u32> v, u64 k,
   MultiGpuResult res;
   res.shards_total = shards;
 
-  const bool hier = cfg.hierarchical && cfg.gpus_per_node > 0 &&
-                    gpus > cfg.gpus_per_node;
+  const bool hier =
+      cfg.hierarchical && hierarchy_engages(gpus, cfg.gpus_per_node);
   constexpr int kLeaderTag = 2000;
   constexpr int kPrimaryTag = 2001;
 
@@ -131,13 +132,13 @@ inline MultiGpuResult multi_gpu_topk(std::span<const u32> v, u64 k,
           }
         } else {
           const u32 gpn = cfg.gpus_per_node;
-          const u32 leader = (r / gpn) * gpn;
+          const u32 leader = group_leader(r, gpn);
           if (r != leader) {
             c.send<u32>(static_cast<int>(leader), kLeaderTag,
                         std::span<const u32>(mine.data(), mine.size()));
           } else {
             append(mine);
-            for (u32 m = leader + 1; m < std::min(leader + gpn, gpus); ++m)
+            for (u32 m = leader + 1; m < group_end(leader, gpn, gpus); ++m)
               append(c.recv<u32>(static_cast<int>(m), kLeaderTag));
             auto merged = topk::reference_topk(
                 std::span<const u32>(pool.data(), pool.size()),
@@ -150,6 +151,8 @@ inline MultiGpuResult multi_gpu_topk(std::span<const u32> v, u64 k,
               u64 msgs = 0;
               for (u32 l = gpn; l < gpus; l += gpn, ++msgs)
                 append(c.recv<u32>(static_cast<int>(l), kPrimaryTag));
+              assert(msgs == primary_messages(gpus, gpn, true) &&
+                     "reduction fan-in must match the topology helpers");
               res.primary_messages = msgs;
             }
           }

@@ -17,28 +17,38 @@
 
 namespace drtopk::obs {
 
-/// Renders the registry in Prometheus text exposition format.
-inline std::string to_prometheus(const Registry& reg) {
+/// Renders the registry in Prometheus text exposition format. `labels` is
+/// an optional pre-rendered label set (e.g. `shard="2"`) attached to every
+/// series — sharded servers export one registry per shard under a `shard`
+/// label so series from different shards never collide.
+inline std::string to_prometheus(const Registry& reg,
+                                 const std::string& labels = {}) {
   std::ostringstream os;
+  // `name{labels}` for plain series; histogram buckets splice `le` into the
+  // same brace set (`name_bucket{shard="2",le="10"}`).
+  const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+  const std::string le_open = labels.empty() ? "{" : "{" + labels + ",";
   for (const Registry::Entry* e : reg.entries()) {
     if (!e->help.empty())
       os << "# HELP " << e->name << " " << e->help << "\n";
     switch (e->kind) {
       case Registry::Kind::kCounter:
         os << "# TYPE " << e->name << " counter\n";
-        os << e->name << " " << e->c->value() << "\n";
+        os << e->name << plain << " " << e->c->value() << "\n";
         break;
       case Registry::Kind::kGauge:
         os << "# TYPE " << e->name << " gauge\n";
-        os << e->name << " " << e->g->value() << "\n";
+        os << e->name << plain << " " << e->g->value() << "\n";
         break;
       case Registry::Kind::kHistogram: {
         os << "# TYPE " << e->name << " histogram\n";
         for (const auto& [le, cum] : e->h->cumulative_buckets())
-          os << e->name << "_bucket{le=\"" << le << "\"} " << cum << "\n";
-        os << e->name << "_bucket{le=\"+Inf\"} " << e->h->count() << "\n";
-        os << e->name << "_sum " << e->h->sum() << "\n";
-        os << e->name << "_count " << e->h->count() << "\n";
+          os << e->name << "_bucket" << le_open << "le=\"" << le << "\"} "
+             << cum << "\n";
+        os << e->name << "_bucket" << le_open << "le=\"+Inf\"} "
+           << e->h->count() << "\n";
+        os << e->name << "_sum" << plain << " " << e->h->sum() << "\n";
+        os << e->name << "_count" << plain << " " << e->h->count() << "\n";
         break;
       }
     }
@@ -49,14 +59,28 @@ inline std::string to_prometheus(const Registry& reg) {
 /// Renders the registry as a JSON object keyed by metric name. Counters
 /// and gauges map to numbers; histograms to
 /// {"count", "sum", "p50", "p90", "p99", "buckets": [[le, cumulative], ...]}.
-inline std::string to_json(const Registry& reg) {
+/// A non-empty `labels` (e.g. `shard="2"`) is appended to every key in
+/// Prometheus brace style — `"serve_completed{shard=\"2\"}"` — keeping the
+/// per-shard objects mergeable into one flat document.
+inline std::string to_json(const Registry& reg,
+                           const std::string& labels = {}) {
   std::ostringstream os;
   os << "{";
+  // The label set is embedded in a JSON string, so its quotes get escaped.
+  std::string suffix;
+  if (!labels.empty()) {
+    suffix = "{";
+    for (const char ch : labels) {
+      if (ch == '"') suffix += '\\';
+      suffix += ch;
+    }
+    suffix += "}";
+  }
   bool first = true;
   for (const Registry::Entry* e : reg.entries()) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << e->name << "\":";
+    os << "\"" << e->name << suffix << "\":";
     switch (e->kind) {
       case Registry::Kind::kCounter: os << e->c->value(); break;
       case Registry::Kind::kGauge: os << e->g->value(); break;

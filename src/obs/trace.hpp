@@ -116,29 +116,42 @@ class Tracer {
     return d;
   }
 
+  /// Writes this tracer's lanes as Chrome `trace_event` events (no JSON
+  /// envelope) under `pid`, prefixed with thread_name metadata. `lead`
+  /// suppresses the comma before the first event; returns false when at
+  /// least one event was written (i.e. the next writer must lead with a
+  /// comma). Building block for export_chrome / export_chrome_multi.
+  bool export_chrome_events(std::ostream& os, u32 pid, bool lead) const {
+    auto sep = [&]() {
+      if (!lead) os << ",";
+      lead = false;
+    };
+    for (u32 li = 0; li < lanes_.size(); ++li) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << li << ",\"args\":{\"name\":\""
+         << (li == 0 ? "submit" : "executor-" + std::to_string(li - 1))
+         << "\"}}";
+    }
+    for (const auto& [lane, s] : snapshot()) {
+      sep();
+      os << "{\"name\":\"" << s.name << "\",\"cat\":\"serve\",\"ph\":\""
+         << (s.instant ? "i" : "X") << "\",\"ts\":" << s.ts_us;
+      if (!s.instant) os << ",\"dur\":" << s.dur_us;
+      os << ",\"pid\":" << pid << ",\"tid\":" << lane;
+      if (s.instant) os << ",\"s\":\"t\"";
+      os << ",\"args\":{\"query\":" << s.query << ",\"group\":" << s.group
+         << "}}";
+    }
+    return lead;
+  }
+
   /// Writes the whole trace as Chrome `trace_event` JSON. `pid` is fixed;
   /// `tid` is the lane (0 = submit path, 1 + e = executor e). Complete
   /// spans become "ph":"X" events, instants "ph":"i" with thread scope.
   void export_chrome(std::ostream& os) const {
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-    bool first = true;
-    auto meta = [&](u32 tid, const std::string& label) {
-      if (!first) os << ",";
-      first = false;
-      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-         << ",\"args\":{\"name\":\"" << label << "\"}}";
-    };
-    for (u32 li = 0; li < lanes_.size(); ++li)
-      meta(li, li == 0 ? "submit" : "executor-" + std::to_string(li - 1));
-    for (const auto& [lane, s] : snapshot()) {
-      os << ",{\"name\":\"" << s.name << "\",\"cat\":\"serve\",\"ph\":\""
-         << (s.instant ? "i" : "X") << "\",\"ts\":" << s.ts_us;
-      if (!s.instant) os << ",\"dur\":" << s.dur_us;
-      os << ",\"pid\":1,\"tid\":" << lane;
-      if (s.instant) os << ",\"s\":\"t\"";
-      os << ",\"args\":{\"query\":" << s.query << ",\"group\":" << s.group
-         << "}}";
-    }
+    export_chrome_events(os, 1, /*lead=*/true);
     os << "]}\n";
   }
 
@@ -176,5 +189,27 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   std::deque<Lane> lanes_;  ///< deque: Lane holds a mutex, addresses stable
 };
+
+/// Merges several tracers into ONE Chrome trace: each (label, tracer) pair
+/// becomes its own process (pid = index + 1, named via process_name
+/// metadata) with its lanes as that process's threads. This is how a
+/// sharded server exports a unified timeline — one process row per shard,
+/// executors nested under it — without the tracers ever sharing state.
+inline void export_chrome_multi(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const Tracer*>>& tracers) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool lead = true;
+  for (u32 i = 0; i < tracers.size(); ++i) {
+    const u32 pid = i + 1;
+    if (!lead) os << ",";
+    lead = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << tracers[i].first << "\"}}";
+    if (tracers[i].second)
+      tracers[i].second->export_chrome_events(os, pid, /*lead=*/false);
+  }
+  os << "]}\n";
+}
 
 }  // namespace drtopk::obs

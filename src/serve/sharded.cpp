@@ -1,0 +1,376 @@
+#include "serve/sharded.hpp"
+
+#include <fstream>
+
+#include "obs/export.hpp"
+#include "topk/batched.hpp"
+
+namespace drtopk::serve {
+
+ShardedTopkServer::ShardedTopkServer(ShardedConfig cfg)
+    : cfg_(cfg),
+      m_single_(registry_.counter(
+          "sharded_single_shard_queries",
+          "Queries short-circuited to one shard's TopkServer")),
+      m_merged_(registry_.counter("sharded_merged_queries",
+                                  "Queries served via scatter + merge")),
+      m_batches_(registry_.counter("sharded_merge_batches",
+                                   "Merge-thread rounds executed")),
+      m_launches_(registry_.counter("sharded_merge_launches",
+                                    "Kernel launches spent merging")),
+      merge_batch_size_(registry_.histogram(
+          "sharded_merge_batch_size", "Queries merged per merge round")) {
+  cfg_.num_shards = std::max(1u, cfg_.num_shards);
+  cfg_.min_shard_elems = std::max<u64>(1, cfg_.min_shard_elems);
+  shards_.reserve(cfg_.num_shards);
+  for (u32 s = 0; s < cfg_.num_shards; ++s) {
+    Shard sh;
+    sh.dev = std::make_unique<vgpu::Device>(
+        cfg_.profile, std::max(1u, cfg_.host_threads_per_shard));
+    sh.server = std::make_unique<TopkServer>(*sh.dev, cfg_.shard);
+    shards_.push_back(std::move(sh));
+  }
+  // The merge sets are tiny (shards x k keys); one host thread suffices.
+  merge_dev_ = std::make_unique<vgpu::Device>(cfg_.profile, 1);
+  merger_ = std::thread([this] { merge_loop(); });
+}
+
+ShardedTopkServer::~ShardedTopkServer() {
+  {
+    std::lock_guard lk(jobs_mu_);
+    stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  if (merger_.joinable()) merger_.join();
+  // Shard servers drain in their own destructors.
+}
+
+u32 ShardedTopkServer::shards_for(u64 n) const {
+  const u64 want = n / cfg_.min_shard_elems;
+  return static_cast<u32>(
+      std::clamp<u64>(want, 1, static_cast<u64>(cfg_.num_shards)));
+}
+
+ShardedTopkServer::CorpusId ShardedTopkServer::add_corpus(Corpus c) {
+  std::lock_guard lk(corpora_mu_);
+  // Round-robin placement keeps many small corpora off one hot shard.
+  if (c.shards == 1)
+    c.first_shard = static_cast<u32>(corpora_.size() % shards_.size());
+  corpora_.push_back(c);
+  return static_cast<CorpusId>(corpora_.size() - 1);
+}
+
+ShardedTopkServer::CorpusId ShardedTopkServer::register_corpus(
+    std::span<const u32> v) {
+  Corpus c;
+  c.width = KeyWidth::k32;
+  c.v32 = v;
+  c.shards = shards_for(v.size());
+  c.shard_len = (v.size() + c.shards - 1) / c.shards;
+  return add_corpus(c);
+}
+
+ShardedTopkServer::CorpusId ShardedTopkServer::register_corpus(
+    std::span<const u64> v) {
+  Corpus c;
+  c.width = KeyWidth::k64;
+  c.v64 = v;
+  c.shards = shards_for(v.size());
+  c.shard_len = (v.size() + c.shards - 1) / c.shards;
+  return add_corpus(c);
+}
+
+u32 ShardedTopkServer::corpus_shards(CorpusId id) const {
+  std::lock_guard lk(corpora_mu_);
+  return corpora_[id].shards;
+}
+
+std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
+                                                   data::Criterion criterion,
+                                                   bool selection_only) {
+  Corpus c;
+  {
+    std::lock_guard lk(corpora_mu_);
+    assert(id < corpora_.size() && "unregistered corpus");
+    c = corpora_[id];
+  }
+  const u64 n = c.width == KeyWidth::k64 ? c.v64.size() : c.v32.size();
+  assert(k >= 1 && k <= n);
+
+  // ---- Single-shard route: today's TopkServer path, zero overhead. ----
+  if (c.shards == 1) {
+    m_single_.add();
+    {
+      std::lock_guard lk(stats_mu_);
+      ++agg_.single_shard_queries;
+      ++agg_.completed;
+    }
+    TopkServer& srv = *shards_[c.first_shard].server;
+    return c.width == KeyWidth::k64
+               ? srv.submit(Query::view(c.v64, k, criterion, selection_only))
+               : srv.submit(Query::view(c.v32, k, criterion, selection_only));
+  }
+
+  // ---- Scatter: one clamped full-top-k sub-query per shard. The local
+  // list must be a real top-min(k, len) (never selection-only): any global
+  // winner living on shard s is within its local top-k, so the union of
+  // the local lists contains the global top-k (Σ min(k, len_s) >= k). ----
+  MergeJob job;
+  job.k = k;
+  job.criterion = criterion;
+  job.selection_only = selection_only;
+  job.width = c.width;
+  job.t_submit = std::chrono::steady_clock::now();
+  job.parts.reserve(c.shards);
+  for (u32 s = 0; s < c.shards; ++s) {
+    const u64 lo = static_cast<u64>(s) * c.shard_len;
+    const u64 len = std::min(c.shard_len, n - lo);
+    const u64 kk = std::min(k, len);
+    TopkServer& srv = *shards_[s].server;
+    job.parts.push_back(
+        c.width == KeyWidth::k64
+            ? srv.submit(Query::view(c.v64.subspan(lo, len), kk, criterion))
+            : srv.submit(Query::view(c.v32.subspan(lo, len), kk, criterion)));
+  }
+  auto fut = job.promise.get_future();
+  {
+    std::lock_guard lk(jobs_mu_);
+    job.id = next_id_++;
+    ++jobs_in_flight_;
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+  return fut;
+}
+
+void ShardedTopkServer::merge_loop() {
+  for (;;) {
+    std::vector<MergeJob> batch;
+    {
+      std::unique_lock lk(jobs_mu_);
+      jobs_cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      // Drain EVERYTHING queued: while this round blocks on shard futures
+      // below, new submissions pile up and merge together next round —
+      // batching follows load with no tuning knob.
+      while (!jobs_.empty()) {
+        batch.push_back(std::move(jobs_.front()));
+        jobs_.pop_front();
+      }
+    }
+    std::vector<MergeJob> j32, j64;
+    for (auto& j : batch)
+      (j.width == KeyWidth::k64 ? j64 : j32).push_back(std::move(j));
+    if (!j32.empty()) merge_batch_typed<u32>(j32);
+    if (!j64.empty()) merge_batch_typed<u64>(j64);
+    {
+      std::lock_guard lk(jobs_mu_);
+      jobs_in_flight_ -= batch.size();
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+template <class T>
+void ShardedTopkServer::merge_batch_typed(std::vector<MergeJob>& jobs) {
+  using Key = typename data::KeyTraits<T>::Key;
+
+  // ---- Collect the shard answers (blocks until the slowest shard has
+  // locally finalized) and re-key them into the directed-key domain, where
+  // "better" is simply "bigger" regardless of criterion — the merge
+  // network needs one total order. The lists arrive best-first, so the
+  // re-keyed runs are sorted descending, exactly what the merge wants. ----
+  struct Gathered {
+    std::vector<std::vector<Key>> runs;
+    double latency_ms = 0.0;  ///< max over shards: they run concurrently
+    core::StageBreakdown breakdown;
+    bool plan_hit = true;
+    bool fused = false;
+  };
+  std::vector<Gathered> in(jobs.size());
+  for (size_t ji = 0; ji < jobs.size(); ++ji) {
+    MergeJob& j = jobs[ji];
+    Gathered& g = in[ji];
+    g.runs.reserve(j.parts.size());
+    for (auto& part : j.parts) {
+      QueryResult pr = part.get();
+      std::vector<Key> run(pr.values.size());
+      for (size_t i = 0; i < pr.values.size(); ++i)
+        run[i] = data::directed_key<T>(static_cast<T>(pr.values[i]),
+                                       j.criterion);
+      g.runs.push_back(std::move(run));
+      g.latency_ms = std::max(g.latency_ms, pr.latency_sim_ms);
+      g.breakdown += pr.breakdown;
+      g.plan_hit = g.plan_hit && pr.plan_cache_hit;
+      g.fused = g.fused || pr.fused;
+    }
+  }
+
+  // ---- Merge on the merge device: one batched launch per level for the
+  // WHOLE batch. Level 1 (only when the hierarchy engages) pre-merges
+  // leader groups — dist/topology.hpp's grouping, the serving twin of the
+  // multi-GPU node-leader reduction; the final level selects each query's
+  // global top-k over its (pre-merged) runs. ----
+  topk::Accum acc(*merge_dev_);
+  vgpu::StageScope stage("merge");
+  u64 launches = 0;
+
+  std::vector<std::vector<std::vector<Key>>> level1(jobs.size());
+  for (size_t ji = 0; ji < jobs.size(); ++ji) {
+    const u32 nruns = static_cast<u32>(in[ji].runs.size());
+    if (!dist::hierarchy_engages(nruns, cfg_.merge_fanin)) continue;
+    std::vector<topk::MergeSegment<Key>> segs;
+    for (u32 leader = 0; leader < nruns; leader += cfg_.merge_fanin) {
+      topk::MergeSegment<Key> seg;
+      u64 total = 0;
+      for (u32 m = leader; m < dist::group_end(leader, cfg_.merge_fanin, nruns);
+           ++m) {
+        seg.runs.emplace_back(in[ji].runs[m]);
+        total += in[ji].runs[m].size();
+      }
+      seg.k = std::min(jobs[ji].k, total);
+      segs.push_back(std::move(seg));
+    }
+    auto r = topk::batched_merge_topk<Key>(acc, segs);
+    launches += r.launches;
+    level1[ji] = std::move(r.keys);
+  }
+
+  std::vector<topk::MergeSegment<Key>> finals(jobs.size());
+  for (size_t ji = 0; ji < jobs.size(); ++ji) {
+    auto& runs = level1[ji].empty() ? in[ji].runs : level1[ji];
+    topk::MergeSegment<Key>& seg = finals[ji];
+    u64 total = 0;
+    for (auto& run : runs) {
+      seg.runs.emplace_back(run);
+      total += run.size();
+    }
+    seg.k = std::min(jobs[ji].k, total);
+    seg.tag = jobs[ji].id;
+  }
+  auto fr = topk::batched_merge_topk<Key>(acc, finals);
+  launches += fr.launches;
+
+  // ---- Price and fulfil: every merged query carries an equal share of
+  // the round's merge time on top of its slowest shard's local latency
+  // (the shards ran concurrently; the merge ran once for everyone). ----
+  const double share =
+      acc.sim_ms() / static_cast<double>(std::max<size_t>(1, jobs.size()));
+  const auto t_done = std::chrono::steady_clock::now();
+  for (size_t ji = 0; ji < jobs.size(); ++ji) {
+    MergeJob& j = jobs[ji];
+    QueryResult out;
+    out.id = j.id;
+    const std::vector<Key>& keys = fr.keys[ji];
+    const u64 keff = keys.size();
+    if (j.selection_only) {
+      out.kth = static_cast<u64>(
+          data::value_from_directed_key<T>(keys[keff - 1], j.criterion));
+      out.values = {out.kth};
+    } else {
+      out.values.resize(keff);
+      for (u64 i = 0; i < keff; ++i)
+        out.values[i] = static_cast<u64>(
+            data::value_from_directed_key<T>(keys[i], j.criterion));
+      out.kth = out.values.back();
+    }
+    out.latency_sim_ms = in[ji].latency_ms + share;
+    out.breakdown = in[ji].breakdown;
+    out.breakdown.second_ms += share;
+    out.plan_cache_hit = in[ji].plan_hit;
+    out.fused = in[ji].fused;
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      t_done - j.t_submit)
+                      .count();
+    j.promise.set_value(std::move(out));
+  }
+
+  m_merged_.add(jobs.size());
+  m_batches_.add();
+  m_launches_.add(launches);
+  merge_batch_size_.observe(jobs.size());
+  std::lock_guard lk(stats_mu_);
+  agg_.completed += jobs.size();
+  agg_.merged_queries += jobs.size();
+  ++agg_.merge_batches;
+  agg_.merge_launches += launches;
+  agg_.merge_sim_ms += acc.sim_ms();
+}
+
+void ShardedTopkServer::drain() {
+  {
+    std::unique_lock lk(jobs_mu_);
+    drain_cv_.wait(lk, [&] { return jobs_in_flight_ == 0; });
+  }
+  for (auto& sh : shards_) sh.server->drain();
+}
+
+ShardedStats ShardedTopkServer::stats() const {
+  ShardedStats s;
+  {
+    std::lock_guard lk(stats_mu_);
+    s = agg_;
+  }
+  double shard_makespan = 0.0;
+  for (const auto& sh : shards_)
+    shard_makespan =
+        std::max(shard_makespan, sh.server->stats().makespan_sim_ms);
+  s.makespan_sim_ms = shard_makespan + s.merge_sim_ms;
+  return s;
+}
+
+u64 ShardedTopkServer::workspace_growths() const {
+  u64 g = 0;
+  for (const auto& sh : shards_) g += sh.server->workspace_growths();
+  return g;
+}
+
+u64 ShardedTopkServer::unattributed_launches() const {
+  u64 u = merge_dev_->unattributed_launches();
+  for (const auto& sh : shards_) u += sh.dev->unattributed_launches();
+  return u;
+}
+
+std::string ShardedTopkServer::metrics_prometheus() const {
+  std::string out;
+  for (u32 s = 0; s < shards_.size(); ++s)
+    out += obs::to_prometheus(shards_[s].server->metrics(),
+                              "shard=\"" + std::to_string(s) + "\"");
+  out += obs::to_prometheus(registry_, "shard=\"merge\"");
+  return out;
+}
+
+std::string ShardedTopkServer::metrics_json() const {
+  // Each per-shard object's braces are stripped and the labeled keys are
+  // spliced into one flat document.
+  std::string out = "{";
+  bool first = true;
+  auto splice = [&](const std::string& obj) {
+    if (obj.size() <= 2) return;  // "{}"
+    if (!first) out += ",";
+    first = false;
+    out.append(obj, 1, obj.size() - 2);
+  };
+  for (u32 s = 0; s < shards_.size(); ++s)
+    splice(obs::to_json(shards_[s].server->metrics(),
+                        "shard=\"" + std::to_string(s) + "\""));
+  splice(obs::to_json(registry_, "shard=\"merge\""));
+  out += "}";
+  return out;
+}
+
+bool ShardedTopkServer::dump_trace(const std::string& path) const {
+  std::vector<std::pair<std::string, const obs::Tracer*>> tracers;
+  for (u32 s = 0; s < shards_.size(); ++s) {
+    const obs::Tracer& t = shards_[s].server->tracer();
+    if (t.enabled())
+      tracers.emplace_back("shard-" + std::to_string(s), &t);
+  }
+  if (tracers.empty()) return false;
+  std::ofstream f(path);
+  if (!f) return false;
+  obs::export_chrome_multi(f, tracers);
+  return true;
+}
+
+}  // namespace drtopk::serve

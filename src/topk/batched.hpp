@@ -116,11 +116,13 @@ inline u64 batched_segment_cap(const vgpu::GpuProfile& p) {
 
 namespace detail {
 
-/// Coalesced staging of v[begin, begin+len) into a CTA's shared span
-/// (every warp of the CTA copies its slice, as in small_topk_shared).
+/// Coalesced staging of v[begin, begin+len) into a CTA's shared span at
+/// shared offset [sh_off, sh_off+len) (every warp of the CTA copies its
+/// slice, as in small_topk_shared). The offset form lets one CTA stage
+/// several disjoint runs side by side (the merge entry point below).
 template <class K>
 void batched_stage_shared(vgpu::CtaCtx& cta, std::span<const K> v, u64 begin,
-                          u64 len, vgpu::SharedSpan<K>& sh) {
+                          u64 len, vgpu::SharedSpan<K>& sh, u64 sh_off = 0) {
   cta.for_each_warp([&](vgpu::Warp& w) {
     const u32 local = w.global_id() % cta.warps_per_cta();
     const Slice s = warp_slice(len, local, cta.warps_per_cta());
@@ -131,7 +133,7 @@ void batched_stage_shared(vgpu::CtaCtx& cta, std::span<const K> v, u64 begin,
       const u32 active =
           static_cast<u32>(std::min<u64>(vgpu::kWarpSize, end - pos));
       auto vals = w.load_coalesced(v, begin + pos, active);
-      sh.warp_scatter(active, [&](u32 l) { return pos + l; }, vals);
+      sh.warp_scatter(active, [&](u32 l) { return sh_off + pos + l; }, vals);
       pos += active;
     }
   });
@@ -330,10 +332,12 @@ BatchedResult<K> batched_topk(Accum& acc,
       std::span<const K> runs(partial.data() + pb.part_off, m);
       detail::batched_stage_shared(cta, runs, 0, m, sh);
       vgpu::Warp w = cta.warp(0);
-      // The merge set is a concatenation of sorted runs; charge the full
-      // bitonic sort of it (conservative vs a P-way merge network).
+      // The merge set is a concatenation of pb.slices sorted runs: charge
+      // the P-way merge network (a binary tree of bitonic merges), not a
+      // full re-sort — the runs' order is information already paid for in
+      // launch 1.
       topk::detail::charge_shared_network(
-          w.stats(), topk::detail::bitonic_sort_cx(std::bit_ceil(m)));
+          w.stats(), vgpu::merge_network_cx(m, pb.slices));
       std::sort(sh.data(), sh.data() + m, std::greater<>());
       for (const u32 si : pb.seg_ids) {
         const auto& sg = segs[si];
@@ -366,6 +370,148 @@ BatchedResult<K> batched_topk(Accum& acc,
         std::copy(fr.keys.begin(), fr.keys.begin() + static_cast<i64>(keff),
                   r.keys[si].begin());
       }
+    }
+  }
+
+  return r;
+}
+
+/// One cross-run merge problem: `runs` are independently *pre-selected*
+/// winner lists, each sorted descending (a shard's local top-k, a slice's
+/// prefix, a leader's pre-merge output). The merge selects the global
+/// top-min(k, Σ|run|) over their union. Unlike BatchedSegment the data is
+/// not one contiguous span — the engine stages each run at its offset.
+template <class K>
+struct MergeSegment {
+  std::vector<std::span<const K>> runs;  ///< each sorted descending
+  u64 k = 1;                             ///< clamped to Σ|run| internally
+  u64 tag = 0;                  ///< caller id (query id) — carried, not used
+  bool selection_only = false;  ///< emit only the k-th key
+};
+
+/// Merges every segment's pre-sorted runs and selects its top-k, one CTA
+/// per segment inside ONE "merge_select" launch. This is the cross-shard
+/// reduction kernel of serve::ShardedTopkServer: N shard-local winner lists
+/// in, one bit-exact global winner list out, charged as a P-way merge
+/// network (vgpu::merge_network_cx) — the runs' order is information the
+/// shards already paid for. Segments whose merge set exceeds one SM's
+/// shared memory fall back to a charged concatenation + flag-radix run
+/// (never hit by serving-sized merges: m = shards·k ≪ the SM cap).
+/// Empty runs are skipped; all-empty segments yield empty results.
+template <class K>
+BatchedResult<K> batched_merge_topk(Accum& acc,
+                                    std::span<const MergeSegment<K>> segs,
+                                    vgpu::Workspace& ws = vgpu::tls_workspace()) {
+  // Defaulting scope: serve's "merge" call-site label wins.
+  vgpu::StageScope stage_scope("batched");
+  BatchedResult<K> r;
+  r.keys.resize(segs.size());
+  const vgpu::GpuProfile& prof = acc.device().profile();
+  const u64 cap = batched_single_cap<K>(prof);
+
+  enum class Path : u8 { kSingle, kFallback, kEmpty };
+  struct Prob {
+    u64 m = 0;        ///< Σ run sizes
+    u64 nruns = 0;    ///< non-empty run count
+    Path path = Path::kEmpty;
+  };
+  std::vector<Prob> probs(segs.size());
+  u64 max_shared = 0;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    Prob& pb = probs[i];
+    for (const auto& run : segs[i].runs) {
+      pb.m += run.size();
+      pb.nruns += !run.empty();
+    }
+    const u64 keff = std::min(segs[i].k, pb.m);
+    r.keys[i].resize(segs[i].selection_only ? (keff ? 1 : 0) : keff);
+    if (pb.m == 0 || keff == 0) {
+      pb.path = Path::kEmpty;
+    } else if (pb.m <= cap) {
+      pb.path = Path::kSingle;
+      max_shared = std::max(max_shared, pb.m * sizeof(K));
+      ++r.single_cta;
+    } else {
+      pb.path = Path::kFallback;
+      ++r.fallback;
+    }
+  }
+
+  std::vector<u32> singles;
+  for (u32 i = 0; i < probs.size(); ++i)
+    if (probs[i].path == Path::kSingle) singles.push_back(i);
+
+  if (!singles.empty()) {
+    vgpu::Launch cfg;
+    cfg.name = "merge_select";
+    cfg.num_ctas = static_cast<u32>(singles.size());
+    cfg.warps_per_cta = 8;
+    cfg.shared_bytes = max_shared;
+    acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+      const u32 si = singles[cta.cta_id()];
+      const auto& sg = segs[si];
+      const Prob& pb = probs[si];
+      auto sh = cta.shared().alloc<K>(pb.m);
+      u64 off = 0;
+      for (const auto& run : sg.runs) {
+        if (run.empty()) continue;
+        detail::batched_stage_shared(cta, run, 0, run.size(), sh, off);
+        off += run.size();
+      }
+      vgpu::Warp w = cta.warp(0);
+      topk::detail::charge_shared_network(
+          w.stats(), vgpu::merge_network_cx(pb.m, pb.nruns));
+      std::sort(sh.data(), sh.data() + pb.m, std::greater<>());
+      const u64 keff = std::min(sg.k, pb.m);
+      std::span<K> out(r.keys[si]);
+      if (sg.selection_only)
+        w.st(out, 0, sh.ld(keff - 1));
+      else
+        detail::batched_emit_shared(w, sh, out, keff);
+    });
+    ++r.launches;
+  }
+
+  // ---- Oversized merge sets: concatenate the runs into workspace global
+  // memory with a charged copy launch, then run the flag-radix engine. ----
+  for (u32 i = 0; i < probs.size(); ++i) {
+    if (probs[i].path != Path::kFallback) continue;
+    const auto& sg = segs[i];
+    const Prob& pb = probs[i];
+    vgpu::Workspace::Scope scope(ws);
+    std::span<K> flat = ws.alloc<K>(pb.m);
+    vgpu::Launch cfg;
+    cfg.name = "merge_concat";
+    cfg.num_ctas = 1;
+    cfg.warps_per_cta = 8;
+    acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+      cta.for_each_warp([&](vgpu::Warp& w) {
+        if (w.global_id() % cta.warps_per_cta() != 0) return;
+        u64 off = 0;
+        for (const auto& run : sg.runs) {
+          u64 pos = 0;
+          while (pos < run.size()) {
+            const u32 active = static_cast<u32>(
+                std::min<u64>(vgpu::kWarpSize, run.size() - pos));
+            auto vals = w.load_coalesced(run, pos, active);
+            w.store_coalesced(flat, off + pos, vals, active);
+            pos += active;
+          }
+          off += run.size();
+        }
+      });
+    });
+    ++r.launches;
+    auto fr = run_topk_keys<K>(acc.device(), std::span<const K>(flat),
+                               std::min(sg.k, pb.m), Algo::kRadixFlag, ws);
+    acc.add(fr.stats, fr.sim_ms);
+    r.launches += fr.stats.kernels_launched;
+    const u64 keff = std::min(sg.k, pb.m);
+    if (sg.selection_only) {
+      r.keys[i][0] = fr.keys[keff - 1];
+    } else {
+      std::copy(fr.keys.begin(), fr.keys.begin() + static_cast<i64>(keff),
+                r.keys[i].begin());
     }
   }
 

@@ -18,11 +18,36 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 
 #include "vgpu/profile.hpp"
 #include "vgpu/stats.hpp"
 
 namespace drtopk::vgpu {
+
+/// Compare-exchange count of a P-way merge network over m total elements
+/// arriving as p_ways pre-sorted runs (a binary tree of pairwise bitonic
+/// merges, the standard multiway merge-network construction). Tree level j
+/// (j = 1..ceil(log2 P)) merges pairs of runs of combined length
+/// (m/P)·2^j, and a bitonic merge of L elements costs (L/2)·log2(L)
+/// exchanges; summing the levels gives
+///
+///   cx = (m/2) · [ lgP·lg(m/P) + lgP·(lgP+1)/2 ]
+///
+/// — strictly below the full bitonic *sort* charge (m/2)·lgm·(lgm+1)/2
+/// whenever the input is already runs (P < m), which is exactly the
+/// multi-CTA merge stage's situation: its input is a concatenation of
+/// per-slice sorted prefixes. One run (P <= 1) needs no exchanges; runs
+/// that are not a power of two round P up (the network pads with empty
+/// runs, costing a partial extra level at most).
+inline u64 merge_network_cx(u64 m, u64 p_ways) {
+  if (m < 2 || p_ways <= 1) return 0;
+  const u64 pw = std::bit_ceil(std::min(p_ways, m));
+  const u64 mw = std::bit_ceil(m);
+  const u64 lgp = static_cast<u64>(std::bit_width(pw) - 1);
+  const u64 lgrun = static_cast<u64>(std::bit_width(mw / pw) - 1);
+  return (m / 2) * (lgp * lgrun + lgp * (lgp + 1) / 2);
+}
 
 class CostModel {
  public:

@@ -261,6 +261,120 @@ TEST(Batched, SegmentCapScalesWithTheDevice) {
   EXPECT_GT(a100, v100s);   // 108 SMs vs 80
 }
 
+// ---- Cross-run merge entry point (PR 7: the sharded server's reduction
+// kernel) ----
+
+TEST(BatchedMerge, ExactOverPreSortedRunsInOneLaunch) {
+  const u64 n = 4096;
+  auto v = data::generate(n, Distribution::kUniform, 201);
+  std::span<const u32> vs(v.data(), v.size());
+  // 4 "shards": each run is its slice's exact local top-k, descending.
+  std::vector<std::vector<u32>> runs;
+  const u64 k = 128;
+  for (u64 s = 0; s < 4; ++s)
+    runs.push_back(reference_topk(vs.subspan(s * (n / 4), n / 4), k));
+
+  std::vector<MergeSegment<u32>> segs(3);
+  for (auto& run : runs) segs[0].runs.emplace_back(run);
+  segs[0].k = k;
+  // Same runs, selection-only, smaller k.
+  for (auto& run : runs) segs[1].runs.emplace_back(run);
+  segs[1].k = 17;
+  segs[1].selection_only = true;
+  // Ragged: one empty run, k beyond the available total.
+  segs[2].runs.emplace_back(runs[0]);
+  segs[2].runs.emplace_back(std::span<const u32>{});
+  segs[2].k = 10 * k;
+
+  Accum acc(shared_device());
+  auto r = batched_merge_topk<u32>(acc, segs);
+  ASSERT_EQ(r.launches, 1u);  // every segment rode ONE merge_select launch
+  EXPECT_EQ(r.single_cta, 3u);
+  EXPECT_EQ(r.fallback, 0u);
+
+  // Any global winner is in its shard's local top-k, so merging the local
+  // lists reproduces the global answer exactly.
+  EXPECT_EQ(r.keys[0], reference_topk(vs, k));
+  ASSERT_EQ(r.keys[1].size(), 1u);
+  EXPECT_EQ(r.keys[1][0], reference_topk(vs, 17).back());
+  EXPECT_EQ(r.keys[2], runs[0]);  // k clamps to the one non-empty run
+  EXPECT_GT(acc.sim_ms(), 0.0);
+}
+
+TEST(BatchedMerge, EmptySegmentsYieldEmptyResultsWithoutLaunching) {
+  std::vector<MergeSegment<u32>> segs(2);
+  segs[0].k = 5;  // no runs at all
+  segs[1].runs.emplace_back(std::span<const u32>{});
+  segs[1].k = 5;
+  Accum acc(shared_device());
+  auto r = batched_merge_topk<u32>(acc, segs);
+  EXPECT_EQ(r.launches, 0u);
+  EXPECT_TRUE(r.keys[0].empty());
+  EXPECT_TRUE(r.keys[1].empty());
+}
+
+TEST(BatchedMerge, OversizedMergeSetFallsBackToRadix) {
+  // Merge set larger than one SM's shared memory: the engine concatenates
+  // the runs (charged copy) and runs the flag-radix engine instead.
+  const vgpu::GpuProfile& p = shared_device().profile();
+  const u64 cap = batched_single_cap<u32>(p);
+  const u64 run_len = cap / 2;
+  auto v = data::generate(4 * run_len, Distribution::kNormal, 202);
+  std::span<const u32> vs(v.data(), v.size());
+  std::vector<std::vector<u32>> runs;
+  for (u64 s = 0; s < 4; ++s) {
+    runs.emplace_back(vs.begin() + static_cast<i64>(s * run_len),
+                      vs.begin() + static_cast<i64>((s + 1) * run_len));
+    std::sort(runs.back().begin(), runs.back().end(), std::greater<>());
+  }
+  std::vector<MergeSegment<u32>> segs(1);
+  for (auto& run : runs) segs[0].runs.emplace_back(run);
+  segs[0].k = 333;
+
+  Accum acc(shared_device());
+  auto r = batched_merge_topk<u32>(acc, segs);
+  EXPECT_EQ(r.fallback, 1u);
+  EXPECT_GE(r.launches, 2u);  // concat + at least one radix launch
+  EXPECT_EQ(r.keys[0], reference_topk(vs, 333));
+}
+
+TEST(BatchedMerge, MergeNetworkChargeBeatsFullResort) {
+  // The P-way merge-network recharge: merging pre-sorted runs must cost
+  // measurably fewer shared-memory accesses than re-sorting the same set
+  // from scratch (which is what a BatchedSegment over the concatenation
+  // would charge).
+  const u64 m = 1 << 12;
+  auto v = data::generate(m, Distribution::kUniform, 203);
+  std::span<const u32> vs(v.data(), v.size());
+  std::vector<std::vector<u32>> runs;
+  for (u64 s = 0; s < 4; ++s) {
+    runs.emplace_back(vs.begin() + static_cast<i64>(s * (m / 4)),
+                      vs.begin() + static_cast<i64>((s + 1) * (m / 4)));
+    std::sort(runs.back().begin(), runs.back().end(), std::greater<>());
+  }
+  std::vector<u32> flat(vs.begin(), vs.end());
+  std::sort(flat.begin(), flat.end(), std::greater<>());
+  // flat is one sorted buffer — present it as 4 runs to the merge engine
+  // vs one un-merged segment to the sort engine, same element count.
+  std::vector<MergeSegment<u32>> ms(1);
+  for (u64 s = 0; s < 4; ++s)
+    ms[0].runs.emplace_back(
+        std::span<const u32>(runs[s].data(), runs[s].size()));
+  ms[0].k = 64;
+  Accum merge_acc(shared_device());
+  auto mr = batched_merge_topk<u32>(merge_acc, ms);
+
+  std::vector<BatchedSegment<u32>> ss(1);
+  ss[0].data = std::span<const u32>(flat.data(), flat.size());
+  ss[0].k = 64;
+  Accum sort_acc(shared_device());
+  auto sr = batched_topk<u32>(sort_acc, ss);
+
+  EXPECT_EQ(mr.keys[0], sr.keys[0]);
+  EXPECT_LT(merge_acc.stats().shared_loads + merge_acc.stats().shared_stores,
+            sort_acc.stats().shared_loads + sort_acc.stats().shared_stores);
+}
+
 TEST(Deferred, ExternalKappaSkipsStageTwo) {
   // An externally supplied exact threshold must zero out stage-2 work and
   // keep the pipeline exact (the batched serving path's contract).

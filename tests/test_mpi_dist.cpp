@@ -266,6 +266,51 @@ TEST(MultiGpu, HierarchicalNoopWhenSingleNode) {
   EXPECT_EQ(r.primary_messages, 3u);
 }
 
+TEST(MultiGpu, HierarchicalRaggedLastNodeAndTopologyHelpers) {
+  // 10 GPUs at 4 per node: nodes {0-3}, {4-7}, {8,9} — the last one
+  // ragged. The reduction must match the topology helpers exactly (the
+  // sharded server's merge grouping reuses the same arithmetic).
+  const u64 n = 1 << 17;
+  const u64 k = 64;
+  auto v = data::generate(n, Distribution::kNormal, 63);
+  std::span<const u32> vs(v.data(), v.size());
+  dist::MultiGpuConfig cfg;
+  cfg.num_gpus = 10;
+  cfg.device_capacity_elems = n;
+  cfg.host_threads_per_gpu = 1;
+  cfg.gpus_per_node = 4;
+  cfg.hierarchical = true;
+  auto r = dist::multi_gpu_topk(vs, k, cfg);
+  EXPECT_EQ(r.keys, topk::reference_topk(vs, k));
+  EXPECT_EQ(r.primary_messages, dist::primary_messages(10, 4, true));
+  EXPECT_EQ(r.primary_messages, 2u);
+  // The helper arithmetic behind that count.
+  EXPECT_EQ(dist::group_count(10, 4), 3u);
+  EXPECT_EQ(dist::group_leader(9, 4), 8u);
+  EXPECT_EQ(dist::group_end(8, 4, 10), 10u);  // ragged: members {8, 9}
+}
+
+TEST(MultiGpu, HierarchicalComposesWithKthExchange) {
+  // Both sharpenings at once: the k-th-exchange filter shrinks every
+  // rank's list BEFORE the leader pre-merge; exactness must survive the
+  // composition (tie-heavy data makes sloppy threshold handling visible).
+  const u64 n = 1 << 17;
+  const u64 k = 200;
+  std::vector<u32> v(n);
+  for (u64 i = 0; i < n; ++i) v[i] = static_cast<u32>(i % 512);
+  std::span<const u32> vs(v.data(), v.size());
+  dist::MultiGpuConfig cfg;
+  cfg.num_gpus = 8;
+  cfg.device_capacity_elems = n;
+  cfg.host_threads_per_gpu = 1;
+  cfg.gpus_per_node = 4;
+  cfg.hierarchical = true;
+  cfg.kth_exchange = true;
+  auto r = dist::multi_gpu_topk(vs, k, cfg);
+  EXPECT_EQ(r.keys, topk::reference_topk(vs, k));
+  EXPECT_EQ(r.primary_messages, dist::primary_messages(8, 4, true));
+}
+
 TEST(MultiGpu, ScalabilityShrinksComputePerGpu) {
   const u64 n = 1 << 20;
   auto v = data::generate(n, Distribution::kUniform, 59);

@@ -338,5 +338,53 @@ TEST(ObsServe, ServerExportsMetricsAndTrace) {
   std::remove(path.c_str());
 }
 
+TEST(Export, LabelSetRendersOnEverySeries) {
+  obs::Registry reg;
+  reg.counter("requests", "help text").add(3);
+  reg.gauge("depth", "").set(7);
+  auto& h = reg.histogram("lat_us", "");
+  h.observe(10);
+  h.observe(1000);
+
+  const std::string prom = obs::to_prometheus(reg, "shard=\"2\"");
+  EXPECT_NE(prom.find("requests{shard=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("depth{shard=\"2\"} 7"), std::string::npos);
+  // Histogram series splice the label before le and onto _sum/_count.
+  EXPECT_NE(prom.find("lat_us_bucket{shard=\"2\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_us_sum{shard=\"2\"}"), std::string::npos);
+  EXPECT_NE(prom.find("lat_us_count{shard=\"2\"} 2"), std::string::npos);
+  // No label: output identical to the pre-label format.
+  EXPECT_NE(obs::to_prometheus(reg).find("requests 3"), std::string::npos);
+
+  const std::string json = obs::to_json(reg, "shard=\"2\"");
+  EXPECT_NE(json.find("\"requests{shard=\\\"2\\\"}\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us{shard=\\\"2\\\"}\":{"), std::string::npos);
+  EXPECT_NE(obs::to_json(reg).find("\"requests\":3"), std::string::npos);
+}
+
+TEST(Trace, MultiTracerExportSeparatesProcesses) {
+  obs::Tracer a(true, 2, 16), b(true, 1, 16);
+  a.complete(0, "enqueue", 1, 0, 0, 5);
+  a.complete(1, "phase-a", 1, 1, 5, 9);
+  b.instant(0, "enqueue", 2, 0);
+  std::ostringstream os;
+  obs::export_chrome_multi(os, {{"shard-0", &a}, {"shard-1", &b}});
+  const std::string out = os.str();
+  // One process row per tracer, named via process_name metadata.
+  EXPECT_NE(out.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"shard-0\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"shard-1\""), std::string::npos);
+  // Events carry their tracer's pid; shard-1's instant lands under pid 2.
+  EXPECT_NE(out.find("\"ph\":\"i\",\"ts\":"), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":2,\"tid\":0"), std::string::npos);
+  // Single-tracer export is unchanged: fixed pid 1 envelope.
+  std::ostringstream solo;
+  a.export_chrome(solo);
+  EXPECT_NE(solo.str().find("\"pid\":1,\"tid\":1"), std::string::npos);
+  EXPECT_EQ(solo.str().find("\"pid\":2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace drtopk

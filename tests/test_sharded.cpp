@@ -1,0 +1,307 @@
+// Cross-shard parity suite for serve::ShardedTopkServer: the sharded
+// answer must be bit-identical to the single-device TopkServer across
+// distributions x k x shard counts — including ragged last shards,
+// k larger than a shard's winner list, duplicate keys straddling shards,
+// dedup on/off, selection-only and both key widths — plus the routing
+// short-circuit, topology, labeled metrics and trace/attribution gates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "data/distributions.hpp"
+#include "serve/sharded.hpp"
+
+namespace drtopk::serve {
+namespace {
+
+using data::Criterion;
+using data::Distribution;
+
+std::vector<u64> widen(const std::vector<u32>& v) {
+  return {v.begin(), v.end()};
+}
+
+/// The bit-identity target: the same query against ONE TopkServer on one
+/// fresh device.
+std::vector<QueryResult> single_device_baseline(std::span<const u32> v,
+                                                const std::vector<Query>& qs) {
+  vgpu::Device dev(vgpu::GpuProfile::v100s());
+  TopkServer server(dev);
+  std::vector<Query> copy = qs;
+  for (auto& q : copy) q.view32 = v;
+  return server.run_batch(std::move(copy));
+}
+
+/// A sharded config that actually shards small test corpora.
+ShardedConfig sharded_cfg(u32 shards) {
+  ShardedConfig cfg;
+  cfg.num_shards = shards;
+  cfg.min_shard_elems = 1;  // every corpus spreads over all shards
+  return cfg;
+}
+
+TEST(Sharded, ParityAcrossDistributionsKAndShardCounts) {
+  const u64 n = (u64{1} << 15) + 777;  // ragged under every shard count
+  for (auto dist : {Distribution::kUniform, Distribution::kNormal}) {
+    auto v = data::generate(n, dist, 91);
+    std::span<const u32> vs(v.data(), v.size());
+    for (u32 shards : {2u, 3u, 4u}) {
+      ShardedTopkServer srv(sharded_cfg(shards));
+      auto corpus = srv.register_corpus(vs);
+      ASSERT_EQ(srv.corpus_shards(corpus), shards);
+      for (u64 k : {u64{1}, u64{10}, u64{100}, u64{1000}}) {
+        auto expect =
+            single_device_baseline(vs, {Query::view(vs, k)}).front();
+        auto got = srv.submit(corpus, k).get();
+        ASSERT_EQ(got.values, expect.values)
+            << "dist=" << static_cast<int>(dist) << " shards=" << shards
+            << " k=" << k;
+        EXPECT_EQ(got.kth, expect.kth);
+        EXPECT_GT(got.latency_sim_ms, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Sharded, KLargerThanShardWinnersAndRaggedLastShard) {
+  // 4 shards over 3*4096+5 elements: the last shard holds 5 elements, and
+  // k = 9000 exceeds every shard's length — each sub-query clamps to its
+  // shard, and the merged union must still be the exact global top-k.
+  const u64 n = 3 * 4096 + 5;
+  auto v = data::generate(n, Distribution::kUniform, 92);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedConfig cfg = sharded_cfg(4);
+  cfg.min_shard_elems = 1024;  // 12293/1024 -> 4 shards (clamped)
+  ShardedTopkServer srv(cfg);
+  auto corpus = srv.register_corpus(vs);
+  ASSERT_EQ(srv.corpus_shards(corpus), 4u);
+  const u64 k = 9000;
+  auto expect = topk::reference_topk(vs, k);
+  auto got = srv.submit(corpus, k).get();
+  EXPECT_EQ(got.values, widen(expect));
+}
+
+TEST(Sharded, DuplicateKeysAcrossShardsKeepMultiplicity) {
+  // Only 64 distinct values: every shard holds copies of every winner, so
+  // a merge that mis-handled ties would drop or double-count duplicates.
+  std::vector<u32> v(1 << 14);
+  for (u64 i = 0; i < v.size(); ++i) v[i] = static_cast<u32>(i % 64);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedTopkServer srv(sharded_cfg(4));
+  auto corpus = srv.register_corpus(vs);
+  for (u64 k : {u64{3}, u64{300}, u64{1000}}) {
+    auto expect = topk::reference_topk(vs, k);
+    auto got = srv.submit(corpus, k).get();
+    ASSERT_EQ(got.values, widen(expect)) << "k=" << k;
+  }
+}
+
+TEST(Sharded, DedupOnOffParity) {
+  auto v = data::generate(1 << 15, Distribution::kUniform, 93);
+  std::span<const u32> vs(v.data(), v.size());
+  std::vector<std::vector<u64>> answers;
+  for (bool dedup : {true, false}) {
+    ShardedConfig cfg = sharded_cfg(2);
+    cfg.shard.dedup = dedup;
+    ShardedTopkServer srv(cfg);
+    auto corpus = srv.register_corpus(vs);
+    // Identical queries exercise phase-A dedup inside each shard.
+    std::vector<std::future<QueryResult>> fs;
+    for (int i = 0; i < 6; ++i) fs.push_back(srv.submit(corpus, 50));
+    for (auto& f : fs) answers.push_back(f.get().values);
+  }
+  auto expect = topk::reference_topk(vs, 50);
+  for (const auto& a : answers) EXPECT_EQ(a, widen(expect));
+}
+
+TEST(Sharded, SelectionOnlyAndSmallestCriterion) {
+  auto v = data::generate((1 << 15) + 13, Distribution::kNormal, 94);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedTopkServer srv(sharded_cfg(3));
+  auto corpus = srv.register_corpus(vs);
+  for (auto c : {Criterion::kLargest, Criterion::kSmallest}) {
+    auto expect =
+        single_device_baseline(
+            vs, {Query::view(vs, 77, c, /*selection_only=*/true)})
+            .front();
+    auto got = srv.submit(corpus, 77, c, /*selection_only=*/true).get();
+    EXPECT_EQ(got.kth, expect.kth);
+    EXPECT_EQ(got.values, expect.values);  // just the k-th value
+    auto full = srv.submit(corpus, 77, c).get();
+    auto full_expect =
+        single_device_baseline(vs, {Query::view(vs, 77, c)}).front();
+    EXPECT_EQ(full.values, full_expect.values);
+  }
+}
+
+TEST(Sharded, U64CorpusParity) {
+  std::vector<u64> v(1 << 14);
+  for (u64 i = 0; i < v.size(); ++i) v[i] = data::rand_u64(95, i);
+  std::span<const u64> vs(v.data(), v.size());
+  vgpu::Device dev(vgpu::GpuProfile::v100s());
+  TopkServer single(dev);
+  auto expect = single.submit(Query::view(vs, 200)).get();
+
+  ShardedTopkServer srv(sharded_cfg(4));
+  auto corpus = srv.register_corpus(vs);
+  auto got = srv.submit(corpus, 200).get();
+  EXPECT_EQ(got.values, expect.values);
+  EXPECT_EQ(got.kth, expect.kth);
+}
+
+TEST(Sharded, SingleShardCorpusShortCircuits) {
+  auto v = data::generate(1 << 10, Distribution::kUniform, 96);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedConfig cfg;
+  cfg.num_shards = 4;  // default min_shard_elems keeps 1k elements on one
+  ShardedTopkServer srv(cfg);
+  auto corpus = srv.register_corpus(vs);
+  EXPECT_EQ(srv.corpus_shards(corpus), 1u);
+  auto expect = topk::reference_topk(vs, 25);
+  auto got = srv.submit(corpus, 25).get();
+  srv.drain();
+  EXPECT_EQ(got.values, widen(expect));
+  auto st = srv.stats();
+  EXPECT_EQ(st.single_shard_queries, 1u);
+  EXPECT_EQ(st.merged_queries, 0u);
+  EXPECT_EQ(st.merge_batches, 0u);  // the merge thread never woke
+}
+
+TEST(Sharded, HierarchicalFaninParityAndExtraLevel) {
+  auto v = data::generate(1 << 15, Distribution::kUniform, 97);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ShardedConfig flat_cfg = sharded_cfg(4);
+  ShardedTopkServer flat(flat_cfg);
+  auto fc = flat.register_corpus(vs);
+  auto fr = flat.submit(fc, 128).get();
+  flat.drain();
+
+  ShardedConfig hier_cfg = sharded_cfg(4);
+  hier_cfg.merge_fanin = 2;  // 4 shards -> 2 leader groups -> final merge
+  ShardedTopkServer hier(hier_cfg);
+  auto hc = hier.register_corpus(vs);
+  auto hr = hier.submit(hc, 128).get();
+  hier.drain();
+
+  EXPECT_EQ(hr.values, fr.values);
+  // The hierarchy spends one extra (pre-merge) launch per round.
+  EXPECT_EQ(flat.stats().merge_launches, 1u);
+  EXPECT_EQ(hier.stats().merge_launches, 2u);
+}
+
+TEST(Sharded, TopologyHelpersMatchReduction) {
+  using namespace drtopk::dist;
+  EXPECT_EQ(group_leader(5, 4), 4u);
+  EXPECT_EQ(group_leader(5, 0), 0u);
+  EXPECT_TRUE(is_group_leader(8, 4));
+  EXPECT_FALSE(is_group_leader(9, 4));
+  EXPECT_EQ(group_end(8, 4, 10), 10u);  // ragged last group
+  EXPECT_EQ(group_count(10, 4), 3u);
+  EXPECT_FALSE(hierarchy_engages(4, 4));
+  EXPECT_TRUE(hierarchy_engages(5, 4));
+  EXPECT_EQ(primary_messages(16, 4, true), 3u);
+  EXPECT_EQ(primary_messages(16, 4, false), 15u);
+  EXPECT_EQ(primary_messages(4, 4, true), 3u);  // hierarchy disengaged
+}
+
+TEST(Sharded, MetricsCarryShardLabels) {
+  auto v = data::generate(1 << 14, Distribution::kUniform, 98);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedTopkServer srv(sharded_cfg(2));
+  auto corpus = srv.register_corpus(vs);
+  srv.submit(corpus, 10).get();
+  srv.drain();
+
+  const std::string prom = srv.metrics_prometheus();
+  EXPECT_NE(prom.find("serve_queries_completed{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_queries_completed{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sharded_merged_queries{shard=\"merge\"}"),
+            std::string::npos);
+  // Histogram buckets splice the shard label next to le.
+  EXPECT_NE(prom.find("_bucket{shard=\"0\",le="), std::string::npos);
+
+  const std::string json = srv.metrics_json();
+  EXPECT_NE(json.find("\"serve_queries_completed{shard=\\\"0\\\"}\":"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sharded_merge_batches{shard=\\\"merge\\\"}\":"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Sharded, UnattributedZeroAcrossAllDevices) {
+  auto v = data::generate(1 << 15, Distribution::kUniform, 99);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedConfig cfg = sharded_cfg(3);
+  cfg.merge_fanin = 2;  // exercise both merge levels
+  ShardedTopkServer srv(cfg);
+  auto corpus = srv.register_corpus(vs);
+  std::vector<std::future<QueryResult>> fs;
+  for (u64 k : {u64{5}, u64{50}, u64{500}}) fs.push_back(srv.submit(corpus, k));
+  for (auto& f : fs) f.get();
+  srv.drain();
+  EXPECT_EQ(srv.unattributed_launches(), 0u);
+  // The merge device saw only "merge"-stage kernels.
+  bool merge_stage_seen = false;
+  for (const auto& st : srv.merge_device().stage_stats()) {
+    EXPECT_STREQ(st.stage.c_str(), "merge");
+    merge_stage_seen = true;
+  }
+  EXPECT_TRUE(merge_stage_seen);
+}
+
+TEST(Sharded, UnifiedTraceHasOneProcessPerShard) {
+  auto v = data::generate(1 << 14, Distribution::kUniform, 100);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedConfig cfg = sharded_cfg(2);
+  cfg.shard.obs.tracing = true;
+  ShardedTopkServer srv(cfg);
+  auto corpus = srv.register_corpus(vs);
+  srv.submit(corpus, 20).get();
+  srv.drain();
+
+  const std::string path = "sharded_trace_test.json";
+  ASSERT_TRUE(srv.dump_trace(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"name\":\"shard-0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"shard-1\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(trace.find("process_name"), std::string::npos);
+  std::remove(path.c_str());
+
+  // Tracing off: no trace to dump.
+  ShardedTopkServer off(sharded_cfg(2));
+  EXPECT_FALSE(off.dump_trace(path));
+}
+
+TEST(Sharded, ManyQueriesBatchThroughTheMergeThread) {
+  // A burst of in-flight queries: the merge thread drains whatever queued
+  // while it blocked, so rounds cover >= 1 query and everything completes.
+  auto v = data::generate(1 << 15, Distribution::kUniform, 101);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedTopkServer srv(sharded_cfg(2));
+  auto corpus = srv.register_corpus(vs);
+  std::vector<std::future<QueryResult>> fs;
+  for (int i = 0; i < 24; ++i)
+    fs.push_back(srv.submit(corpus, 10 + (i % 5) * 30));
+  for (auto& f : fs) EXPECT_FALSE(f.get().values.empty());
+  srv.drain();
+  auto st = srv.stats();
+  EXPECT_EQ(st.merged_queries, 24u);
+  EXPECT_EQ(st.completed, 24u);
+  EXPECT_GE(st.merge_batches, 1u);
+  EXPECT_LE(st.merge_batches, 24u);
+  EXPECT_GT(st.merge_sim_ms, 0.0);
+  EXPECT_GT(st.qps(), 0.0);
+}
+
+}  // namespace
+}  // namespace drtopk::serve

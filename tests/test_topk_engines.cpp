@@ -239,6 +239,44 @@ TEST(ChooseEngine, PrefersRadixAtScaleAndIsStable) {
   }
 }
 
+TEST(ChooseEngine, CrossoversUnchangedByMergeNetworkRecharge) {
+  // The PR-7 recharge (vgpu::merge_network_cx replacing the full-sort
+  // charge in the batched multi-CTA merge) prices a *stage inside* the
+  // batched engine; the family chooser's roofline sketch is independent of
+  // it. Pin the crossovers so any future coupling of the two shows up.
+  const auto& p = vgpu::GpuProfile::v100s();
+  // Small k at streaming scale: bitonic's 0.5*lg k passes undercut
+  // radix's ~2.5; the flip sits between k=16 (lg=5) and k=32 (lg=6).
+  EXPECT_EQ(choose_engine(p, u64{1} << 24, 16), Algo::kBitonic);
+  EXPECT_EQ(choose_engine(p, u64{1} << 24, 32), Algo::kRadixFlag);
+  // Launch-dominated tiny inputs with large k: sort-and-choose's 8
+  // launches beat radix's 10 and bitonic's 2*lg k.
+  EXPECT_EQ(choose_engine(p, 64, 64), Algo::kSortAndChoose);
+}
+
+TEST(ChooseEngine, MergeNetworkChargeStrictlyBelowResort) {
+  // The new analytic charge itself: a P-way merge network over m elements
+  // arriving as P < m pre-sorted runs must cost strictly less than the
+  // full bitonic sort it replaced, collapse to zero for a single run, and
+  // degenerate to the full sort when every "run" is one element.
+  for (u64 m : {u64{64}, u64{1} << 10, u64{1} << 15}) {
+    for (u64 pw : {u64{2}, u64{4}, u64{16}}) {
+      EXPECT_LT(vgpu::merge_network_cx(m, pw),
+                detail::bitonic_sort_cx(std::bit_ceil(m)))
+          << "m=" << m << " P=" << pw;
+      EXPECT_GT(vgpu::merge_network_cx(m, pw), 0u);
+    }
+    EXPECT_EQ(vgpu::merge_network_cx(m, 1), 0u);
+    EXPECT_EQ(vgpu::merge_network_cx(m, m),
+              detail::bitonic_sort_cx(std::bit_ceil(m)));
+  }
+  EXPECT_EQ(vgpu::merge_network_cx(1, 4), 0u);
+  // More ways over the same set never get cheaper (each extra tree level
+  // adds exchanges).
+  EXPECT_LE(vgpu::merge_network_cx(1 << 10, 2),
+            vgpu::merge_network_cx(1 << 10, 4));
+}
+
 TEST(HeapTopk, SequentialMatchesReference) {
   auto v = data::generate(1 << 14, Distribution::kUniform, 8);
   std::span<const u32> vs(v.data(), v.size());
