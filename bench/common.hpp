@@ -320,6 +320,30 @@ inline void write_json_section(const std::string& path,
               path.c_str());
 }
 
+/// Per-stage kernel-launch breakdown of a measured serving run, as a JSON
+/// object: raw launch counts plus launches/query per stage, so an lpq
+/// regression in a report is attributable to the stage that caused it
+/// (ROADMAP item 1) instead of hiding in one aggregate number.
+inline Json launch_breakdown(u64 queries, u64 construct, u64 first,
+                             u64 concat, u64 second, u64 finalize) {
+  const auto per_query = [&](u64 c) {
+    return queries ? static_cast<double>(c) / static_cast<double>(queries)
+                   : 0.0;
+  };
+  Json o = Json::object();
+  o.set("queries", queries);
+  o.set("construct_launches", construct);
+  o.set("first_launches", first);
+  o.set("concat_launches", concat);
+  o.set("second_launches", second);
+  o.set("finalize_launches", finalize);
+  o.set("construct_lpq", per_query(construct));
+  o.set("first_lpq", per_query(first));
+  o.set("concat_lpq", per_query(concat));
+  o.set("second_lpq", per_query(second));
+  return o;
+}
+
 inline void print_title(const char* id, const char* what, const Args& a) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id, what);

@@ -51,6 +51,13 @@ struct ServerRun {
   u64 launches = 0;         ///< device kernel launches, measured rounds only
   double launches_per_query = 0;
   u64 finalize_launches = 0;  ///< batched second-top-k launches
+  // Per-stage launch attribution (ROADMAP item 1): the aggregate launch
+  // counter above, split by pipeline stage so a regression names its stage.
+  u64 construct_launches = 0;
+  u64 first_launches = 0;
+  u64 concat_launches = 0;   ///< stage-3 classify/concat (ServerStats field)
+  u64 second_launches = 0;
+  u64 relax_guard_trips = 0;
   u64 deduped = 0;            ///< queries served from a shared phase A
   u64 dedup_classes = 0;      ///< query classes that shared
   u64 window_flushes = 0;     ///< cross-group staging flushes
@@ -112,6 +119,14 @@ ServerRun measure_server(serve::TopkServer& server, vgpu::Device& dev,
   out.launches_per_query =
       static_cast<double>(out.launches) / static_cast<double>(out.served);
   out.finalize_launches = after.finalize_launches - warm.finalize_launches;
+  out.construct_launches = after.stages.construct_stats.kernels_launched -
+                           warm.stages.construct_stats.kernels_launched;
+  out.first_launches = after.stages.first_stats.kernels_launched -
+                       warm.stages.first_stats.kernels_launched;
+  out.concat_launches = after.concat_launches - warm.concat_launches;
+  out.second_launches = after.stages.second_stats.kernels_launched -
+                        warm.stages.second_stats.kernels_launched;
+  out.relax_guard_trips = after.relax_guard_trips - warm.relax_guard_trips;
   out.deduped = after.deduped_queries - warm.deduped_queries;
   out.dedup_classes = after.dedup_classes - warm.dedup_classes;
   out.window_flushes = after.window_flushes - warm.window_flushes;
@@ -175,6 +190,7 @@ int main(int argc, char** argv) {
   std::string json3 = "BENCH_PR3.json";
   std::string json5 = "BENCH_PR5.json";
   std::string json6 = "BENCH_PR6.json";
+  std::string json8 = "BENCH_PR8.json";
   std::string trace_path, prom_path;
   bool breakdown = false;
   std::vector<double> dup_rates = {0.0, 0.25, 0.5};
@@ -184,9 +200,11 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::printf("serve_throughput extras: [--group-size=A,B,...]"
                   " [--json3=PATH] [--json5=PATH] [--json6=PATH]"
-                  " [--dup-rate=R,R,...]"
+                  " [--json8=PATH] [--dup-rate=R,R,...]"
                   " [--finalize-window-us=W,W,...]"
                   " [--trace=PATH] [--prom=PATH] [--breakdown]\n");
+    } else if (arg.rfind("--json8=", 0) == 0) {
+      json8 = arg.substr(8);
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--prom=", 0) == 0) {
@@ -415,10 +433,12 @@ int main(int argc, char** argv) {
     cfg.batch_max = static_cast<u32>(std::min<u64>(gsz, 256));
     cfg.max_in_flight = std::max<u32>(64, cfg.batch_max);
     // This sweep measures the PR-3 configuration (its committed
-    // BENCH_PR3.json baseline gates CI): Phase-A dedup and cross-group
-    // windows stay off here — the PR-5 sweep below owns those axes.
+    // BENCH_PR3.json baseline gates CI): Phase-A dedup, cross-group
+    // windows and the group-wide batched stage 3 stay off here — the PR-5
+    // and PR-8 sweeps below own those axes.
     cfg.dedup = false;
     cfg.finalize_window_us = 0;
+    cfg.batched_concat = false;
     const int grounds = std::max(2, static_cast<int>(32 / gsz));
 
     vgpu::Device bdev(vgpu::GpuProfile::v100s());
@@ -531,6 +551,7 @@ int main(int argc, char** argv) {
         static_cast<u32>(*std::max_element(window_list.begin(),
                                            window_list.end()));
     pcfg.finalize_max_segments = static_cast<u32>(groups5 * d);
+    pcfg.batched_concat = false;
     vgpu::Device parity_dev(vgpu::GpuProfile::v100s());
     const bool parity = check_parity(parity_dev, pcfg, qs);
     parity5_all = parity5_all && parity;
@@ -547,6 +568,11 @@ int main(int argc, char** argv) {
       // instead of waiting out the window, keeping the sweep fast and the
       // merge deterministic.
       cfg.finalize_max_segments = static_cast<u32>(groups5 * d);
+      // PR-5 configuration: group-wide batched stage 3 stays off so the
+      // dedup/window effect on per-query stage-3 launches stays visible
+      // (batched stage 3 makes lpq dup-insensitive; the PR-8 sweep below
+      // owns that axis) and the committed lpq_* baselines keep gating CI.
+      cfg.batched_concat = false;
       vgpu::Device wdev(vgpu::GpuProfile::v100s());
       const ServerRun pr5 = run_server(wdev, cfg, qs, 2);
 
@@ -620,6 +646,128 @@ int main(int argc, char** argv) {
               " share one phase A and one\nfinalization segment; window:"
               " groups completing within --finalize-window-us share\nONE"
               " batched finalization launch (cross-corpus).\n");
+
+  // ------------------------------------------------------------------
+  // PR 8: group-wide batched stage 3. Same workload shape as the PR-5
+  // dup=0 point (4 admission groups of gsz distinct-k queries per round,
+  // widest finalization window) with batched_concat ON vs OFF (OFF = the
+  // PR-7 per-query stage-3 path). With one classify/concat launch pair
+  // per group resolved at setup, member queries launch nothing, so
+  // launches/group is ~construct + kappa + classify + concat (+ the
+  // shared finalize) REGARDLESS of group size. CI gate: lpq(on) <= 0.6x
+  // the committed PR-5 lpq_dup0_window at every swept group size >= 16.
+  // ------------------------------------------------------------------
+  std::printf("\n%-5s | %9s %9s %7s | %8s %8s | %7s | %6s\n", "gsz",
+              "bc QPS", "off QPS", "gain", "bc lpq", "off lpq", "guards",
+              "parity");
+
+  bench::Json crows = bench::Json::array();
+  double lpq_bc_16 = 0, lpq_bc_64 = 0, lpq_off_16 = 0;
+  double gain_bc_16 = 0, gain_bc_64 = 0;
+  bool have_bc16 = false, have_bc64 = false;
+  bool parity8_all = true;
+  const u64 window8 =
+      *std::max_element(window_list.begin(), window_list.end());
+  for (const u64 gsz : std::vector<u64>{16, 64}) {
+    const u64 groups8 = 4, q8 = gsz * groups8;
+    std::vector<serve::Query> qs;
+    for (u64 i = 0; i < q8; ++i)
+      qs.push_back(serve::Query::view(span_of(doc), 32 * ((i % gsz) + 1)));
+
+    serve::ServerConfig cfg;
+    cfg.executors = 4;
+    cfg.batch_max = static_cast<u32>(gsz);
+    cfg.max_in_flight = static_cast<u32>(q8);
+    cfg.dedup = true;
+    cfg.finalize_window_us = static_cast<u32>(window8);
+    cfg.finalize_max_segments = static_cast<u32>(groups8 * gsz);
+    cfg.batched_concat = true;
+
+    serve::ServerConfig off = cfg;  // PR-7 path: per-query stage 3
+    off.batched_concat = false;
+
+    vgpu::Device ondev(vgpu::GpuProfile::v100s());
+    const ServerRun ron = run_server(ondev, cfg, qs, 2);
+    vgpu::Device offdev(vgpu::GpuProfile::v100s());
+    const ServerRun roff = run_server(offdev, off, qs, 2);
+
+    // Three-way parity: the batched and the per-query stage 3 are each
+    // checked against the fully per-query server, so they are also
+    // bit-identical to each other.
+    vgpu::Device pdev_on(vgpu::GpuProfile::v100s());
+    const bool par_on = check_parity(pdev_on, cfg, qs);
+    vgpu::Device pdev_off(vgpu::GpuProfile::v100s());
+    const bool par_off = check_parity(pdev_off, off, qs);
+    parity8_all = parity8_all && par_on && par_off;
+
+    const double gain = roff.qps > 0 ? ron.qps / roff.qps : 0;
+    if (gsz == 16) {
+      lpq_bc_16 = ron.launches_per_query;
+      lpq_off_16 = roff.launches_per_query;
+      gain_bc_16 = gain;
+      have_bc16 = true;
+    } else if (gsz == 64) {
+      lpq_bc_64 = ron.launches_per_query;
+      gain_bc_64 = gain;
+      have_bc64 = true;
+    }
+
+    std::printf("%-5llu | %9.1f %9.1f %6.2fx | %8.2f %8.2f | %7llu | %6s\n",
+                static_cast<unsigned long long>(gsz), ron.qps, roff.qps,
+                gain, ron.launches_per_query, roff.launches_per_query,
+                static_cast<unsigned long long>(ron.relax_guard_trips),
+                (par_on && par_off) ? "ok" : "FAIL");
+
+    bench::Json row = bench::Json::object();
+    row.set("group_size", gsz)
+        .set("queries", ron.served)
+        .set("qps_batched", ron.qps)
+        .set("qps_off", roff.qps)
+        .set("gain_vs_off", gain)
+        .set("lpq_batched", ron.launches_per_query)
+        .set("lpq_off", roff.launches_per_query)
+        .set("relax_guard_trips", ron.relax_guard_trips)
+        .set("steady_ws_growths", ron.ws_growths_steady)
+        .set("parity", par_on && par_off)
+        .set("launches_batched",
+             bench::launch_breakdown(ron.served, ron.construct_launches,
+                                     ron.first_launches, ron.concat_launches,
+                                     ron.second_launches,
+                                     ron.finalize_launches))
+        .set("launches_off",
+             bench::launch_breakdown(roff.served, roff.construct_launches,
+                                     roff.first_launches,
+                                     roff.concat_launches,
+                                     roff.second_launches,
+                                     roff.finalize_launches));
+    crows.push(std::move(row));
+  }
+
+  // Headline fields only when their sweep point ran — absent keys fail
+  // the CI gate rather than passing vacuously.
+  bench::Json creport = bench::Json::object();
+  creport.set("bench", "serve_batched_concat")
+      .set("logn", args.logn)
+      .set("seed", args.seed)
+      .set("executors", 4)
+      .set("groups_per_round", 4)
+      .set("window_us", window8);
+  if (have_bc16) {
+    creport.set("lpq_batched_concat_at_16", lpq_bc_16)
+        .set("lpq_off_at_16", lpq_off_16)
+        .set("gain_vs_off_at_16", gain_bc_16);
+  }
+  if (have_bc64) {
+    creport.set("lpq_batched_concat_at_64", lpq_bc_64)
+        .set("gain_vs_off_at_64", gain_bc_64);
+  }
+  creport.set("parity", parity8_all).set("rows", std::move(crows));
+  bench::write_json_section(json8, "serve_batched_concat", creport);
+
+  std::printf("\nbatched concat: ONE classify + ONE concat launch cover every"
+              " dedup class of an\nadmission group (core/concat_batched.hpp);"
+              " member queries reuse the precomputed\ncandidate spans and"
+              " launch nothing.\n");
 
   // ------------------------------------------------------------------
   // PR 6: observability. (a) tracing overhead: the same workload on fresh

@@ -1,0 +1,329 @@
+// Group-wide batched stage 3: ONE classify + ONE concat launch for many
+// same-delegate-vector selections.
+//
+// The serving layer collapsed stages 2 and 4 into per-group batched
+// launches (topk/batched.hpp), leaving every query its own stage-3
+// classify/concat pair — the dominant per-query fixed cost at serving
+// rates. But within an admission group every query classifies the SAME
+// delegate vector, only against its own threshold kappa(k): the work
+// differs per query by one scalar. This engine runs the whole group's
+// stage 3 as segment-tagged batches, mirroring topk/batched.hpp's design:
+//
+//   classify_subranges_batched   one launch over (segment x chunk) work
+//                                items. Per-CTA shared-memory staging is
+//                                reused across segments — the staging
+//                                buffers are flushed to the *current*
+//                                segment's qualified/partial lists (each
+//                                with its own global cursor cells) whenever
+//                                the CTA's walk crosses a segment boundary,
+//                                so list emission stays block-aggregated
+//                                while every segment keeps its own offsets.
+//   concat_candidates_batched    one launch over the union of every
+//                                segment's partial-list batches and
+//                                qualified subranges, located through a
+//                                per-segment item-offset table; candidates
+//                                land in each segment's own span through
+//                                its own cursor cell.
+//
+// Re-thresholding (the Section 4.3 relaxation guard) is per segment: a
+// retry pass marks untouched segments `skip` — their work items are not
+// even visited — and reuses the touched segments' cached taken counts to
+// gate chunks, exactly like the single-query fused retry but without
+// re-running the segments whose threshold was already exact. The serving
+// layer feeds exact kappas (resolved by the group's batched first top-k),
+// so the guard never fires there; the per-segment capability exists for
+// callers that batch relaxed thresholds.
+//
+// Classification math is identical to core/concat_fused.hpp (same real-
+// prefix rule, same Rule 2/3 tests), so for any segment the produced
+// candidate MULTISET equals the per-query fused path's — the final top-k
+// is bit-identical once selected. Candidate ORDER may differ (different
+// reservation interleavings); every consumer sorts.
+#pragma once
+
+#include "core/concat_fused.hpp"
+
+namespace drtopk::core {
+
+/// One selection problem of a batched stage 3: its threshold, its
+/// caller-allocated per-subrange scratch, its classification outputs, and
+/// (for the concat pass) its caller-sized candidate span. Scratch spans
+/// must each hold >= S entries.
+template <class K>
+struct BatchedConcatSegment {
+  K kappa{};                 ///< this segment's stage-2 threshold
+  std::span<u8> taken;       ///< per-subrange taken count (scratch, >= S)
+  std::span<u32> qualified;  ///< Rule-3 fully-taken sid list (scratch)
+  std::span<u32> partial;    ///< partially-taken sid list (scratch)
+  u64 qualified_count = 0;
+  u64 partial_count = 0;
+  u64 partial_taken = 0;     ///< sum of taken over partial subranges
+  u64 taken_total = 0;       ///< delegates >= kappa
+  /// Candidate output (concat pass): the caller allocates
+  /// `partial_taken + qualified_count * 2^alpha` (minus the usual ragged-
+  /// tail correction) after classification, exactly as the fused path does.
+  std::span<K> cand;
+  u64 cand_count = 0;
+  /// Retry passes only: true = this segment's threshold did not change —
+  /// its results are left untouched and none of its work items are visited.
+  bool skip = false;
+};
+
+/// Candidate capacity for one classified segment: every partial taken
+/// delegate plus the full length of every qualified subrange, shortened
+/// when the ragged tail subrange itself qualified. Shared by the serving
+/// setup and the tests so the sizing rule cannot drift from the fused
+/// path's.
+template <class K>
+u64 batched_concat_capacity(const BatchedConcatSegment<K>& seg, u64 S,
+                            u32 beta, int alpha, u64 n) {
+  const u64 len = u64{1} << alpha;
+  u64 qual_len = seg.qualified_count * len;
+  if (S > 0) {
+    const u64 tail_len = n - (S - 1) * len;
+    const u64 tail_real = std::min<u64>(beta, tail_len);
+    if (tail_len < len && tail_real > 0 && seg.taken[S - 1] == tail_real)
+      qual_len -= len - tail_len;
+  }
+  return seg.partial_taken + qual_len;
+}
+
+/// ONE launch classifies every subrange of the shared delegate vector
+/// against every segment's kappa. Work items are (segment, 32-subrange
+/// chunk) pairs, segment-major; per-CTA staging flushes on segment
+/// crossings so each segment's qualified/partial lists and counters fill
+/// through its own global cells. With `reuse_taken` (retry pass), chunks
+/// whose cached taken counts are all zero are skipped per segment, and
+/// segments marked `skip` are not visited at all — the relaxation-guard
+/// re-threshold touches only the segments (and chunks) that need it.
+template <class K>
+void classify_subranges_batched(topk::Accum& acc, std::span<const K> dkeys,
+                                u64 S, u32 beta, int alpha, u64 n,
+                                std::span<BatchedConcatSegment<K>> segs,
+                                bool reuse_taken = false) {
+  if (segs.empty() || S == 0) return;
+  const u64 len = u64{1} << alpha;
+  const u64 chunks = (S + vgpu::kWarpSize - 1) / vgpu::kWarpSize;
+  const u64 nsegs = segs.size();
+  const u64 items = nsegs * chunks;
+
+  // Four global cells per segment: [0] qualified cursor, [1] partial
+  // cursor, [2] partial-taken total, [3] taken total.
+  std::vector<u64> cells(4 * nsegs, 0);
+  std::span<u64> cspan(cells.data(), cells.size());
+
+  auto cfg = acc.device().launch_for_warp_items(
+      items, reuse_taken ? "classify_batched_retry" : "classify_batched", 8,
+      u64{2} * kConcatStageCap * sizeof(u32));
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    // One pair of staging buffers serves every segment the CTA touches:
+    // entries always belong to the *current* segment, flushed (one global
+    // reservation + coalesced stores, same shape as the fused path) on a
+    // segment crossing, on capacity, and at the epilogue.
+    auto stage_q = cta.shared().alloc<u32>(kConcatStageCap);
+    auto stage_p = cta.shared().alloc<u32>(kConcatStageCap);
+    u32 qn = 0, pn = 0;
+    u64 cur = ~u64{0};  ///< segment the staged entries/counters belong to
+    u64 cta_taken = 0, cta_partial_taken = 0;
+
+    const auto flush_list = [&](vgpu::Warp& w, vgpu::SharedSpan<u32>& stage,
+                                u32& count, u64 cursor_cell,
+                                std::span<u32> out_list) {
+      if (count == 0) return;
+      const u64 base =
+          w.atomic_add(cspan, cursor_cell, static_cast<u64>(count));
+      for (u32 pos = 0; pos < count; pos += vgpu::kWarpSize) {
+        const u32 m = std::min<u32>(vgpu::kWarpSize, count - pos);
+        auto vals = stage.warp_gather(m, [&](u32 l) { return u64{pos} + l; });
+        w.store_coalesced(out_list, base + pos, vals, m);
+      }
+      count = 0;
+    };
+    const auto flush_seg = [&](vgpu::Warp& w) {
+      if (cur == ~u64{0}) return;
+      flush_list(w, stage_q, qn, 4 * cur + 0, segs[cur].qualified);
+      flush_list(w, stage_p, pn, 4 * cur + 1, segs[cur].partial);
+      if (cta_partial_taken) {
+        w.atomic_add(cspan, 4 * cur + 2, cta_partial_taken);
+        cta_partial_taken = 0;
+      }
+      if (cta_taken) {
+        w.atomic_add(cspan, 4 * cur + 3, cta_taken);
+        cta_taken = 0;
+      }
+    };
+
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      for (u64 i = w.global_id(); i < items; i += w.grid_warps()) {
+        const u64 si = i / chunks;
+        BatchedConcatSegment<K>& seg = segs[si];
+        if (seg.skip) continue;
+        if (si != cur) {
+          flush_seg(w);
+          cur = si;
+        }
+        const u64 s0 = (i % chunks) * vgpu::kWarpSize;
+        const u32 m = static_cast<u32>(std::min<u64>(vgpu::kWarpSize, S - s0));
+        const K kappa = seg.kappa;
+        if (reuse_taken) {
+          std::span<const u8> taken_ro(seg.taken.data(), seg.taken.size());
+          auto prev = w.load_coalesced(taken_ro, s0, m);
+          bool any = false;
+          for (u32 l = 0; l < m; ++l) any = any || prev[l] != 0;
+          if (!any) continue;
+        }
+
+        // Coalesced chunk load of the m*beta delegate keys.
+        std::array<K, vgpu::kWarpSize * kMaxBeta> keys{};
+        const u64 kbase = s0 * beta;
+        const u32 total = m * beta;
+        for (u32 off = 0; off < total; off += vgpu::kWarpSize) {
+          const u32 a = std::min<u32>(vgpu::kWarpSize, total - off);
+          auto vals = w.load_coalesced(dkeys, kbase + off, a);
+          for (u32 l = 0; l < a; ++l) keys[off + l] = vals[l];
+        }
+
+        vgpu::LaneArray<u8> tarr{};
+        vgpu::LaneArray<u8> isq{}, isp{};
+        u32 qc = 0, pc = 0;
+        for (u32 l = 0; l < m; ++l) {
+          const u64 s = s0 + l;
+          const u32 real = static_cast<u32>(
+              std::min<u64>(beta, std::min(len, n - s * len)));
+          u32 t = 0;
+          for (u32 j = 0; j < real; ++j)
+            if (keys[l * beta + j] >= kappa) ++t;
+          tarr[l] = static_cast<u8>(t);
+          if (t == 0) continue;
+          cta_taken += t;
+          if (t == real) {
+            isq[l] = 1;
+            ++qc;
+          } else {
+            isp[l] = 1;
+            ++pc;
+            cta_partial_taken += t;
+          }
+        }
+        w.store_coalesced(seg.taken, s0, tarr, m);
+
+        if (qc) {
+          if (qn + qc > kConcatStageCap)
+            flush_list(w, stage_q, qn, 4 * cur + 0, seg.qualified);
+          for (u32 l = 0; l < m; ++l)
+            if (isq[l]) stage_q.st(qn++, static_cast<u32>(s0 + l));
+        }
+        if (pc) {
+          if (pn + pc > kConcatStageCap)
+            flush_list(w, stage_p, pn, 4 * cur + 1, seg.partial);
+          for (u32 l = 0; l < m; ++l)
+            if (isp[l]) stage_p.st(pn++, static_cast<u32>(s0 + l));
+        }
+      }
+    });
+
+    // Epilogue: the leader warp drains whatever segment is still staged.
+    {
+      vgpu::Warp w = cta.warp(0);
+      flush_seg(w);
+    }
+  });
+
+  for (u64 si = 0; si < nsegs; ++si) {
+    if (segs[si].skip) continue;
+    segs[si].qualified_count = cells[4 * si + 0];
+    segs[si].partial_count = cells[4 * si + 1];
+    segs[si].partial_taken = cells[4 * si + 2];
+    segs[si].taken_total = cells[4 * si + 3];
+  }
+}
+
+/// ONE launch concatenates every segment's candidates: the union of all
+/// segments' partial-list batches and qualified subranges forms the work-
+/// item space, located through a per-segment offset table; each candidate
+/// lands in its segment's span through its segment's cursor cell. Per
+/// segment the logic is exactly concat_candidates_fused's — partial
+/// batches gather + re-threshold listed subranges' delegates, qualified
+/// items stream their subrange with Rule 2 filtering. Segments marked
+/// `skip` contribute no items. Fills each segment's cand_count.
+template <class K>
+void concat_candidates_batched(topk::Accum& acc, std::span<const K> v,
+                               std::span<const K> dkeys, u32 beta, int alpha,
+                               bool filter,
+                               std::span<BatchedConcatSegment<K>> segs) {
+  if (segs.empty()) return;
+  const u64 n = v.size();
+  const u64 len = u64{1} << alpha;
+  const u64 nsegs = segs.size();
+
+  // Item layout: per segment, pchunks 32-entry partial batches followed by
+  // its qualified subranges; `off[si]` is the segment's first item.
+  std::vector<u64> off(nsegs + 1, 0);
+  std::vector<u64> pchunks(nsegs, 0);
+  for (u64 si = 0; si < nsegs; ++si) {
+    u64 items = 0;
+    if (!segs[si].skip) {
+      pchunks[si] =
+          (segs[si].partial_count + vgpu::kWarpSize - 1) / vgpu::kWarpSize;
+      items = pchunks[si] + segs[si].qualified_count;
+    }
+    off[si + 1] = off[si] + items;
+  }
+  const u64 items = off[nsegs];
+  if (items == 0) return;
+
+  std::vector<u64> cursors(nsegs, 0);
+  std::span<u64> curspan(cursors.data(), cursors.size());
+
+  auto cfg = acc.device().launch_for_warp_items(items, "concat_batched");
+  acc.launch(cfg, [&](vgpu::CtaCtx& cta) {
+    cta.for_each_warp([&](vgpu::Warp& w) {
+      u64 si = 0;  // items ascend per warp stride; resume the scan in place
+      for (u64 i = w.global_id(); i < items; i += w.grid_warps()) {
+        while (i >= off[si + 1]) ++si;
+        BatchedConcatSegment<K>& seg = segs[si];
+        const K kappa = seg.kappa;
+        std::span<u64> cursor = curspan.subspan(si, 1);
+        const u64 rel = i - off[si];
+        if (rel < pchunks[si]) {
+          // Partial-list batch: taken delegates of 32 listed subranges.
+          const u64 p0 = rel * vgpu::kWarpSize;
+          const u32 m = static_cast<u32>(
+              std::min<u64>(vgpu::kWarpSize, seg.partial_count - p0));
+          std::span<const u32> plist(seg.partial.data(), seg.partial.size());
+          auto sids = w.load_coalesced(plist, p0, m);
+          std::array<K, vgpu::kWarpSize * kMaxBeta> out{};
+          u32 count = 0;
+          for (u32 l = 0; l < m; ++l) {
+            const u64 s = sids[l];
+            const u32 real = static_cast<u32>(
+                std::min<u64>(beta, std::min(len, n - s * len)));
+            auto ks = w.load_coalesced(dkeys, s * beta, real);
+            for (u32 j = 0; j < real; ++j)
+              if (ks[j] >= kappa) out[count++] = ks[j];
+          }
+          if (count == 0) continue;
+          const u64 base = w.atomic_add(cursor, 0, static_cast<u64>(count));
+          for (u32 pos = 0; pos < count; pos += vgpu::kWarpSize) {
+            const u32 a = std::min<u32>(vgpu::kWarpSize, count - pos);
+            vgpu::LaneArray<K> lanes{};
+            for (u32 l = 0; l < a; ++l) lanes[l] = out[pos + l];
+            w.store_coalesced(seg.cand, base + pos, lanes, a);
+          }
+          continue;
+        }
+        // Qualified subrange: stream + filter + warp-aggregated append.
+        std::span<const u32> qlist(seg.qualified.data(), seg.qualified.size());
+        const u32 sid = w.ld(qlist, rel - pchunks[si]);
+        const u64 begin = static_cast<u64>(sid) * len;
+        append_filtered_subrange(w, v, begin, std::min(len, n - begin),
+                                 kappa, filter, seg.cand, cursor);
+      }
+    });
+  });
+
+  for (u64 si = 0; si < nsegs; ++si)
+    if (!segs[si].skip) segs[si].cand_count = cursors[si];
+}
+
+}  // namespace drtopk::core

@@ -180,6 +180,7 @@ struct StageBreakdown {
   u32 beta = 1;
   bool second_skipped = false;  ///< Rule 3 fast path (Figure 8b)
   bool fallback_direct = false; ///< k too large for delegation; ran directly
+  u64 guard_trips = 0;  ///< relaxation-guard re-thresholds (tie-heavy data)
 
   double total_ms() const {
     return construct_ms + first_ms + concat_ms + second_ms;
@@ -202,6 +203,7 @@ struct StageBreakdown {
     num_subranges += o.num_subranges;
     qualified_subranges += o.qualified_subranges;
     taken_delegates += o.taken_delegates;
+    guard_trips += o.guard_trips;
     return *this;
   }
 };
@@ -334,6 +336,7 @@ topk::TopkResult<K> dr_topk_from_delegates(
     // counts say were touched (kappa can only rise, so untaken subranges
     // stay untaken and their chunks are skipped wholesale).
     if (relax && cls.taken_total > 4 * k) {
+      ++bd.guard_trips;
       {
         // The exact-threshold recompute is first-top-k work: relabel it
         // back to "first" (only when stage3 owns the ambient label).
@@ -405,6 +408,7 @@ topk::TopkResult<K> dr_topk_from_delegates(
     classify();
     // Relaxation guard (legacy form: a full re-classification pass).
     if (relax && counters[2] > 4 * k) {
+      ++bd.guard_trips;
       {
         vgpu::StageScope guard("first", /*force=*/stage3.engaged());
         Accum a2b(dev);

@@ -28,6 +28,9 @@
 
 namespace drtopk::serve {
 
+/// Cache key: the query's shape class. Deliberately shard-independent —
+/// no device or placement state — so a plan calibrated on one shard is
+/// valid on every sibling (see ShardedTopkServer plan sharing).
 struct PlanKey {
   u32 log2n = 0;      ///< bit_width(|V|)
   u32 log2k = 0;      ///< bit_width(k)
@@ -38,6 +41,7 @@ struct PlanKey {
   bool operator==(const PlanKey&) const = default;
 };
 
+/// Polynomial hash over the five PlanKey fields.
 struct PlanKeyHash {
   size_t operator()(const PlanKey& k) const {
     u64 h = k.log2n;
@@ -49,6 +53,8 @@ struct PlanKeyHash {
   }
 };
 
+/// A calibrated plan plus everything a replay presizes from: workspace
+/// high-water marks and the provenance bits behind the probe-skip count.
 struct CachedPlan {
   core::ExecPlan plan;
   double probe_sim_ms = 0.0;  ///< one-time calibration cost paid on miss
@@ -60,7 +66,16 @@ struct CachedPlan {
                            ///< plus the group's deferred candidate spans
                            ///< (dedup-shared; re-recorded at finalization,
                            ///< which a cross-group window flush may run)
-  u64 exec_ws_bytes = 0;   ///< per-query stages 2-4 scratch
+  u64 exec_ws_bytes = 0;   ///< per-query stages 2-4 scratch (and, with
+                           ///< batched_concat, the group-wide classify
+                           ///< staging arrays)
+  /// Cross-shard plan sharing: true when this entry arrived via publish()
+  /// (a sibling shard calibrated it) rather than local calibration. The
+  /// PlanKey is shard-independent — same log2-shape and distribution
+  /// fingerprint on every equal slice of one corpus — so the first hit on
+  /// a published entry is exactly one probe set this shard skipped.
+  bool published = false;
+  bool skip_counted = false;  ///< first published-entry hit already counted
 };
 
 /// Cheap distribution fingerprint: max bit width over a strided sample plus
@@ -87,6 +102,9 @@ u32 data_fingerprint(std::span<const T> v) {
   return max_width * 64 + distinct;
 }
 
+/// The (shape -> calibrated plan) map: resolve() replays on a hit and
+/// runs the one-time probe calibration on a miss; publish()/entries()
+/// expose the cross-shard sharing surface.
 class PlanCache {
  public:
   struct Options {
@@ -122,9 +140,38 @@ class PlanCache {
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Calibration probe sets this cache never ran because a sibling's
+  /// published plan was hit instead (counted once per published entry, at
+  /// its first hit — the moment calibration would otherwise have fired).
+  u64 probes_skipped() const {
+    return probes_skipped_.load(std::memory_order_relaxed);
+  }
   size_t size() const {
     std::lock_guard lk(mu_);
     return map_.size();
+  }
+
+  /// Coherent copy of every cached entry, for cross-shard sharing.
+  std::vector<std::pair<PlanKey, CachedPlan>> entries() const {
+    std::lock_guard lk(mu_);
+    std::vector<std::pair<PlanKey, CachedPlan>> out;
+    out.reserve(map_.size());
+    for (const auto& [k, p] : map_) out.push_back({k, p});
+    return out;
+  }
+
+  /// Adopts a plan calibrated elsewhere (insert-if-absent: a locally
+  /// calibrated entry always wins over a published copy). Returns true
+  /// when the entry was new here — the next hit on it skips a probe set.
+  bool publish(const PlanKey& key, const CachedPlan& plan) {
+    std::lock_guard lk(mu_);
+    auto [it, inserted] = map_.emplace(key, plan);
+    if (inserted) {
+      it->second.published = true;
+      it->second.skip_counted = false;
+      it->second.probe_sim_ms = 0.0;  // this cache never paid the probes
+    }
+    return inserted;
   }
 
   template <class T>
@@ -151,6 +198,7 @@ class PlanCache {
   std::unordered_map<PlanKey, CachedPlan, PlanKeyHash> map_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+  std::atomic<u64> probes_skipped_{0};
 };
 
 template <class T>
@@ -164,6 +212,12 @@ CachedPlan PlanCache::resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
     auto it = map_.find(key);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      // First hit on a shared-in plan: this is when local calibration
+      // would have fired — one probe set skipped thanks to the sibling.
+      if (it->second.published && !it->second.skip_counted) {
+        it->second.skip_counted = true;
+        probes_skipped_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (hit_out) *hit_out = true;
       CachedPlan hit = it->second;
       hit.probe_sim_ms = 0.0;  // already paid by the miss

@@ -159,6 +159,25 @@ struct Group {
   /// snapshot (parallel arrays; values carried as u64 regardless of width).
   std::vector<u64> kappa_ks;
   std::vector<u64> kappa_vals;
+
+  // --- Group-wide batched stage 3 (PR 8) ---
+  /// One precomputed stage-3 result per distinct feasible k: setup ran the
+  /// whole group's classify + concat as ONE launch pair over the shared
+  /// delegate vector, so an item whose k matches performs ZERO launches —
+  /// it parks a DeferredItem referencing the group-arena candidate span
+  /// (or, on the Rule-3 fast path, self-serves with a host sort). Written
+  /// single-threaded before publish; read-only afterwards. Only the span
+  /// matching the group's key width is set.
+  struct Stage3Entry {
+    u64 k = 0;
+    u64 cand_count = 0;
+    u64 taken_total = 0;         ///< delegates >= kappa (breakdown metadata)
+    u64 qualified = 0;           ///< Rule-3 qualified subranges
+    bool second_skipped = false; ///< q==0 && taken==k: candidates ARE the answer
+    std::span<const u32> cand32;
+    std::span<const u64> cand64;
+  };
+  std::vector<Stage3Entry> stage3;
   /// Guards the deferred lists, the executed counter and group-arena
   /// candidate allocations (executors park phase-A results concurrently).
   std::mutex batch_mu;

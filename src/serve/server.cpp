@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/concat_batched.hpp"
 #include "obs/export.hpp"
 #include "topk/batched.hpp"
 
@@ -42,6 +43,17 @@ std::span<const u32>& group_keys<u32>(Group& g) {
 template <>
 std::span<const u64>& group_keys<u64>(Group& g) {
   return g.keys64;
+}
+
+template <class K>
+std::span<const K> stage3_cand(const Group::Stage3Entry& e);
+template <>
+std::span<const u32> stage3_cand<u32>(const Group::Stage3Entry& e) {
+  return e.cand32;
+}
+template <>
+std::span<const u64> stage3_cand<u64>(const Group::Stage3Entry& e) {
+  return e.cand64;
 }
 
 template <class K>
@@ -353,6 +365,65 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
         g.setup_stages.first_ms = acc2.sim_ms();
         g.setup_stages.first_stats = acc2.stats();
         executor_work += acc2.sim_ms();
+
+        // Group-wide batched stage 3 (PR 8): the kappas above are exact,
+        // so every member's classification is already decidable — run the
+        // whole group's classify + concat as ONE launch pair over the
+        // shared delegate vector (core/concat_batched.hpp). Per-subrange
+        // scratch is executor-arena transient; the candidate spans land in
+        // the group arena, where the deferred finalization machinery
+        // consumes them (identical ks share a span, and batched_topk
+        // coalesces same-span segments into one sort). Items whose k was
+        // precomputed then launch NOTHING.
+        if (cfg_.batched_concat) {
+          vgpu::StageScope concat("concat");
+          topk::Accum acc3(dev_);
+          const u64 S = group_dv<Key>(g).num_subranges;
+          ews.reset_peak();  // record the batched classify scratch footprint
+          vgpu::Workspace::Scope scratch(ews);
+          std::vector<core::BatchedConcatSegment<Key>> csegs(ks.size());
+          for (size_t i = 0; i < ks.size(); ++i) {
+            csegs[i].kappa = static_cast<Key>(g.kappa_vals[i]);
+            csegs[i].taken = ews.alloc<u8>(S);
+            csegs[i].qualified = ews.alloc<u32>(S);
+            csegs[i].partial = ews.alloc<u32>(S);
+          }
+          std::span<core::BatchedConcatSegment<Key>> cspan(csegs);
+          core::classify_subranges_batched<Key>(acc3, dkeys, S, beta,
+                                                g.plan.alpha, g.n, cspan);
+          for (size_t i = 0; i < ks.size(); ++i)
+            csegs[i].cand = g.ws->alloc<Key>(core::batched_concat_capacity(
+                csegs[i], S, beta, g.plan.alpha, g.n));
+          core::concat_candidates_batched<Key>(
+              acc3, keyspan, dkeys, beta, g.plan.alpha,
+              core::apply_plan(cfg_.base, g.plan).filtering, cspan);
+          for (size_t i = 0; i < ks.size(); ++i) {
+            Group::Stage3Entry e;
+            e.k = ks[i];
+            e.cand_count = csegs[i].cand_count;
+            e.taken_total = csegs[i].taken_total;
+            e.qualified = csegs[i].qualified_count;
+            // Rule-3 fast path: exactly k delegates met kappa and no
+            // subrange fully qualified — the candidates ARE the answer.
+            e.second_skipped =
+                csegs[i].qualified_count == 0 && csegs[i].taken_total == e.k;
+            std::span<const Key> cand(csegs[i].cand.data(),
+                                      csegs[i].cand_count);
+            if constexpr (std::is_same_v<Key, u64>)
+              e.cand64 = cand;
+            else
+              e.cand32 = cand;
+            g.stage3.push_back(e);
+          }
+          g.setup_sim_ms += acc3.sim_ms();
+          g.setup_stages.concat_ms = acc3.sim_ms();
+          g.setup_stages.concat_stats = acc3.stats();
+          executor_work += acc3.sim_ms();
+          // The wider batched staging arrays raise the plan's executor-
+          // workspace high-water mark; re-record so future groups of this
+          // shape presize instead of growing.
+          plans_.note_workspace(g.plan_key, 0, ews.peak_bytes());
+        }
       }
     }
     plans_.note_workspace(g.plan_key, g.ws->peak_bytes(), 0);
@@ -718,72 +789,137 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
       // this query independently (exact, just unshared).
     }
 
-    // Batched second-stage selection: replay the setup's exact kappa (one
-    // batched launch covered the group), allocate the candidate span from
-    // the group arena so it outlives this call, and defer stage 4 — the
-    // group's last finisher (or a cross-group window flush) selects for
-    // everyone in a single launch. Gated on the default engine so
-    // plan-probed engine choices (and the per-query baseline) stay
-    // measurable.
-    core::DeferredSecond<Key> dsec;
-    core::DeferredSecond<Key>* dsp = nullptr;
-    if (eligible) {
-      for (size_t i = 0; i < g.kappa_ks.size(); ++i) {
-        if (g.kappa_ks[i] == q.k) {
-          dsec.have_kappa = true;
-          dsec.kappa = static_cast<Key>(g.kappa_vals[i]);
+    // Group-wide batched stage 3 (PR 8): if setup already classified and
+    // concatenated for this k, phase A is DONE — no launch, no scratch.
+    // The item either parks a deferred segment referencing the shared
+    // group-arena candidate span (identical ks coalesce into one sort in
+    // the batched finalization) or, on the Rule-3 fast path, self-serves
+    // with a host sort of the exactly-k candidates.
+    const Group::Stage3Entry* pre = nullptr;
+    if (eligible && cfg_.batched_concat) {
+      for (const auto& e : g.stage3) {
+        if (e.k == q.k) {
+          pre = &e;
           break;
         }
       }
-      dsec.alloc_cand = [&g](u64 cap) {
-        std::lock_guard lk(g.batch_mu);
-        return g.ws->alloc<Key>(cap);
-      };
-      dsp = &dsec;
     }
     try {
-      auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
-                                                 group_dv<Key>(g), cfg, &bd,
-                                                 ws, dsp);
-      // "Fused" means construction was genuinely shared: either the setup
-      // covered several queries, or this is a late joiner riding a pass
-      // that others paid for. A singleton group paid full freight — not
-      // fused.
-      out.fused = g.setup_items > 1 || amortize_over == 0;
-      // Latency: this query's stages plus its share of the group's single
-      // construction (+ batched first top-k) pass. Late joiners
-      // (amortize_over == 0) ride passes that were already paid for, so
-      // the shares across a group sum to exactly the cost charged once at
-      // setup.
-      out.latency_sim_ms = r.sim_ms;
-      if (amortize_over > 0)
-        out.latency_sim_ms +=
-            g.setup_sim_ms / static_cast<double>(amortize_over);
-      if (dsp && dsec.deferred) {
-        // Park the phase-A result; values/kth arrive at finalization.
-        out.breakdown = bd;
-        DeferredItem<Key> d;
-        d.item = &p;
-        d.out = out;
-        d.cand = dsec.cand;
-        d.k = q.k;
-        d.criterion = q.criterion;
-        d.selection_only = q.selection_only;
-        d.class_id = class_id;
-        if (tracer_.enabled()) d.park_ts_us = tracer_.now_us();
-        {
-          std::lock_guard lk(g.batch_mu);
-          group_deferred<Key>(g).push_back(std::move(d));
+      if (pre != nullptr) {
+        out.fused = g.setup_items > 1 || amortize_over == 0;
+        // This item launched nothing: its latency is purely its share of
+        // the group's construction + kappa + classify/concat passes.
+        if (amortize_over > 0)
+          out.latency_sim_ms =
+              g.setup_sim_ms / static_cast<double>(amortize_over);
+        bd.alpha = g.plan.alpha;
+        bd.beta = g.plan.beta;
+        bd.delegate_len = group_dv<Key>(g).size();
+        bd.num_subranges = group_dv<Key>(g).num_subranges;
+        bd.concat_len = pre->cand_count;
+        bd.taken_delegates = pre->taken_total;
+        bd.qualified_subranges = pre->qualified;
+        bd.second_skipped = pre->second_skipped;
+        if (!pre->second_skipped) {
+          // Park the precomputed phase-A result; values/kth arrive at the
+          // batched finalization.
+          out.breakdown = bd;
+          DeferredItem<Key> d;
+          d.item = &p;
+          d.out = out;
+          d.cand = stage3_cand<Key>(*pre);
+          d.k = q.k;
+          d.criterion = q.criterion;
+          d.selection_only = q.selection_only;
+          d.class_id = class_id;
+          if (tracer_.enabled()) d.park_ts_us = tracer_.now_us();
+          {
+            std::lock_guard lk(g.batch_mu);
+            group_deferred<Key>(g).push_back(std::move(d));
+          }
+          *deferred = true;
+          return out;
         }
-        *deferred = true;
-        return out;
+        // Rule-3 fast path: exactly k delegates met the exact threshold
+        // and no subrange fully qualified — the candidate span IS the
+        // answer (same semantics as dr_topk's second_skipped host sort).
+        std::span<const Key> cand = stage3_cand<Key>(*pre);
+        std::vector<Key> keys(cand.begin(), cand.begin() + q.k);
+        std::sort(keys.begin(), keys.end(), std::greater<Key>());
+        if (cfg.selection_only && keys.size() > 1)
+          keys.erase(keys.begin(), keys.end() - 1);
+        out.values.reserve(keys.size());
+        for (const Key key : keys)
+          out.values.push_back(static_cast<u64>(
+              data::value_from_directed_key<T>(key, q.criterion)));
+        out.kth = out.values.back();
+      } else {
+        // Batched second-stage selection: replay the setup's exact kappa
+        // (one batched launch covered the group), allocate the candidate
+        // span from the group arena so it outlives this call, and defer
+        // stage 4 — the group's last finisher (or a cross-group window
+        // flush) selects for everyone in a single launch. Gated on the
+        // default engine so plan-probed engine choices (and the per-query
+        // baseline) stay measurable.
+        core::DeferredSecond<Key> dsec;
+        core::DeferredSecond<Key>* dsp = nullptr;
+        if (eligible) {
+          for (size_t i = 0; i < g.kappa_ks.size(); ++i) {
+            if (g.kappa_ks[i] == q.k) {
+              dsec.have_kappa = true;
+              dsec.kappa = static_cast<Key>(g.kappa_vals[i]);
+              break;
+            }
+          }
+          dsec.alloc_cand = [&g](u64 cap) {
+            std::lock_guard lk(g.batch_mu);
+            return g.ws->alloc<Key>(cap);
+          };
+          dsp = &dsec;
+        }
+        auto r = core::dr_topk_from_delegates<Key>(dev_, keyspan, q.k,
+                                                   group_dv<Key>(g), cfg, &bd,
+                                                   ws, dsp);
+        // "Fused" means construction was genuinely shared: either the
+        // setup covered several queries, or this is a late joiner riding a
+        // pass that others paid for. A singleton group paid full freight —
+        // not fused.
+        out.fused = g.setup_items > 1 || amortize_over == 0;
+        // Latency: this query's stages plus its share of the group's
+        // single construction (+ batched first top-k) pass. Late joiners
+        // (amortize_over == 0) ride passes that were already paid for, so
+        // the shares across a group sum to exactly the cost charged once
+        // at setup.
+        out.latency_sim_ms = r.sim_ms;
+        if (amortize_over > 0)
+          out.latency_sim_ms +=
+              g.setup_sim_ms / static_cast<double>(amortize_over);
+        if (dsp && dsec.deferred) {
+          // Park the phase-A result; values/kth arrive at finalization.
+          out.breakdown = bd;
+          DeferredItem<Key> d;
+          d.item = &p;
+          d.out = out;
+          d.cand = dsec.cand;
+          d.k = q.k;
+          d.criterion = q.criterion;
+          d.selection_only = q.selection_only;
+          d.class_id = class_id;
+          if (tracer_.enabled()) d.park_ts_us = tracer_.now_us();
+          {
+            std::lock_guard lk(g.batch_mu);
+            group_deferred<Key>(g).push_back(std::move(d));
+          }
+          *deferred = true;
+          return out;
+        }
+        out.values.reserve(r.keys.size());
+        for (const Key key : r.keys)
+          out.values.push_back(static_cast<u64>(
+              data::value_from_directed_key<T>(key, q.criterion)));
+        out.kth = static_cast<u64>(
+            data::value_from_directed_key<T>(r.kth, q.criterion));
       }
-      out.values.reserve(r.keys.size());
-      for (const Key key : r.keys)
-        out.values.push_back(static_cast<u64>(
-            data::value_from_directed_key<T>(key, q.criterion)));
-      out.kth = static_cast<u64>(
-          data::value_from_directed_key<T>(r.kth, q.criterion));
     } catch (...) {
       // Leader threw before publishing anything: poison the class so late
       // members run independently, and fail anyone already subscribed.

@@ -85,6 +85,20 @@ struct ServerConfig {
   /// fused path (it rides the deferred-span machinery); `false` gives
   /// every query its own phase A, the measurable PR-3 behavior.
   bool dedup = true;
+  /// Group-wide batched stage 3 (PR 8): setup classifies the shared
+  /// delegate vector against EVERY distinct k's exact kappa in one
+  /// classify + one concat launch (core/concat_batched.hpp) right after
+  /// the batched kappa resolution, staging one candidate span per k in
+  /// the group arena. Per-item execution then launches NOTHING: a query
+  /// whose k was precomputed parks a deferred segment referencing the
+  /// shared span (identical ks coalesce into one sort inside the batched
+  /// finalization), or self-serves with a host sort on the Rule-3 fast
+  /// path. Phase B collapses to delegate -> [one classify/concat pair] ->
+  /// [one batched second top-k] per group. Rides the batched_select
+  /// machinery (no effect when that is off or the plan is ineligible);
+  /// `false` replays the PR-7 per-query stage 3, kept measurable as the
+  /// bench baseline.
+  bool batched_concat = true;
   /// Cross-group finalization window, in microseconds of host wall clock:
   /// groups becoming finalization-ready within this window are finalized
   /// together in ONE shared batched launch per key width present —
@@ -169,6 +183,9 @@ class TopkServer {
   bool dump_trace(const std::string& path) const;
 
   const PlanCache& plan_cache() const { return plans_; }
+  /// Mutable plan-cache access for cross-shard plan sharing
+  /// (ShardedTopkServer publishes calibrated plans between siblings).
+  PlanCache& plan_cache() { return plans_; }
   vgpu::Device& device() { return dev_; }
   const ServerConfig& config() const { return cfg_; }
 

@@ -163,6 +163,10 @@ void ShardedTopkServer::merge_loop() {
       (j.width == KeyWidth::k64 ? j64 : j32).push_back(std::move(j));
     if (!j32.empty()) merge_batch_typed<u32>(j32);
     if (!j64.empty()) merge_batch_typed<u64>(j64);
+    // A merge round is a natural sync point: every shard just calibrated
+    // whatever shapes this batch introduced — cross-publish them so the
+    // next corpus of a recurring shape skips N-1 probe sets.
+    share_plans();
     {
       std::lock_guard lk(jobs_mu_);
       jobs_in_flight_ -= batch.size();
@@ -303,6 +307,31 @@ void ShardedTopkServer::drain() {
     drain_cv_.wait(lk, [&] { return jobs_in_flight_ == 0; });
   }
   for (auto& sh : shards_) sh.server->drain();
+  // Quiesced: single-shard routes never pass the merge thread, so this is
+  // their plan-sharing sync point.
+  share_plans();
+}
+
+u64 ShardedTopkServer::share_plans() {
+  if (shards_.size() < 2) return 0;
+  // Union of every shard's calibrated plans, then insert-if-absent into
+  // every sibling. Publishing a shard's own entry back is a no-op, and a
+  // local calibration racing a publish keeps whichever landed first —
+  // both are valid plans for the shape.
+  std::vector<std::pair<PlanKey, CachedPlan>> all;
+  for (auto& sh : shards_) {
+    auto e = sh.server->plan_cache().entries();
+    all.insert(all.end(), e.begin(), e.end());
+  }
+  u64 published = 0;
+  for (auto& sh : shards_)
+    for (const auto& [key, plan] : all)
+      published += sh.server->plan_cache().publish(key, plan) ? 1 : 0;
+  if (published) {
+    std::lock_guard lk(stats_mu_);
+    agg_.plan_publishes += published;
+  }
+  return published;
 }
 
 ShardedStats ShardedTopkServer::stats() const {
@@ -312,9 +341,11 @@ ShardedStats ShardedTopkServer::stats() const {
     s = agg_;
   }
   double shard_makespan = 0.0;
-  for (const auto& sh : shards_)
+  for (const auto& sh : shards_) {
     shard_makespan =
         std::max(shard_makespan, sh.server->stats().makespan_sim_ms);
+    s.plan_probes_skipped += sh.server->plan_cache().probes_skipped();
+  }
   s.makespan_sim_ms = shard_makespan + s.merge_sim_ms;
   return s;
 }

@@ -75,6 +75,11 @@ struct ShardedStats {
   u64 merged_queries = 0;        ///< scatter/merge route
   u64 merge_batches = 0;         ///< merge-thread rounds executed
   u64 merge_launches = 0;        ///< kernel launches spent merging
+  u64 plan_publishes = 0;        ///< plan-cache entries adopted from a
+                                 ///< sibling shard via share_plans()
+  u64 plan_probes_skipped = 0;   ///< calibration probe sets shards never
+                                 ///< ran because a published plan hit first
+                                 ///< (summed over shard PlanCaches)
   double merge_sim_ms = 0.0;     ///< simulated GPU time of all merges
   /// Modeled makespan of the deployment: shards run concurrently (max
   /// over shard makespans) and the merge device runs after the last
@@ -117,8 +122,19 @@ class ShardedTopkServer {
                                       data::Criterion::kLargest,
                                   bool selection_only = false);
 
-  /// Blocks until every submitted query (both routes) has completed.
+  /// Blocks until every submitted query (both routes) has completed, then
+  /// cross-publishes calibrated plans between shards (share_plans).
   void drain();
+
+  /// Cross-shard plan sharing: publishes the union of every shard's
+  /// calibrated plans to every sibling (insert-if-absent — local
+  /// calibrations always win). PlanKeys are shard-independent (log2 shape
+  /// + distribution fingerprint), so shapes recur across shards and the
+  /// next shard to see a shared shape skips its whole probe set. Runs
+  /// automatically after each merge round and on drain(); public so tests
+  /// and routing layers can force a sync point. Returns the number of
+  /// entries newly adopted by some shard.
+  u64 share_plans();
 
   ShardedStats stats() const;
 

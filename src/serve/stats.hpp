@@ -54,6 +54,14 @@ struct ServerStats {
   u64 window_early_flushes = 0;  ///< window flushes triggered by the
                                  ///< queue-empty early-flush path rather
                                  ///< than the timer or the segment cap
+  u64 concat_launches = 0;  ///< kernel launches attributed to stage 3
+                            ///< (classify + concat): per-query pairs on the
+                            ///< baseline path, ONE pair per group with
+                            ///< batched_concat — the stage the lpq gate
+                            ///< watches (ROADMAP item 1)
+  u64 relax_guard_trips = 0;  ///< relaxation-guard re-thresholds (tie-heavy
+                              ///< distributions forcing the exact-kappa
+                              ///< recompute; see core/concat_fused.hpp)
 
   double total_sim_ms = 0.0;     ///< summed per-query simulated latency
   double calibration_sim_ms = 0.0;  ///< plan-cache probe work (cold starts)
@@ -122,7 +130,13 @@ class StatsCollector {
             "Groups that shared a window flush with another group")),
         m_early_flushes_(reg.counter(
             "serve_window_early_flushes",
-            "Window flushes triggered by queue-empty early flush")) {}
+            "Window flushes triggered by queue-empty early flush")),
+        m_concat_launches_(reg.counter(
+            "serve_concat_launches",
+            "Kernel launches attributed to stage 3 (classify + concat)")),
+        m_guard_trips_(reg.counter(
+            "serve_relax_guard_trips",
+            "Relaxation-guard re-thresholds (per segment)")) {}
 
   /// Reservoir bound for the exact-percentiles debug path: a long-running
   /// server must not grow memory per query. Up to kLatencyReservoir samples
@@ -135,6 +149,9 @@ class StatsCollector {
     latency_us_.observe(to_us(sim_latency_ms));
     m_completed_.add();
     if (fused) m_fused_.add();
+    if (stages.concat_stats.kernels_launched)
+      m_concat_launches_.add(stages.concat_stats.kernels_launched);
+    if (stages.guard_trips) m_guard_trips_.add(stages.guard_trips);
     std::lock_guard lk(mu_);
     ++completed_;
     if (exact_percentiles_) {
@@ -159,6 +176,9 @@ class StatsCollector {
 
   void record_group(const core::StageBreakdown& setup_stages) {
     m_groups_.add();
+    if (setup_stages.concat_stats.kernels_launched)
+      m_concat_launches_.add(setup_stages.concat_stats.kernels_launched);
+    if (setup_stages.guard_trips) m_guard_trips_.add(setup_stages.guard_trips);
     std::lock_guard lk(mu_);
     ++groups_;
     stages_ += setup_stages;
@@ -246,6 +266,11 @@ class StatsCollector {
       s.total_sim_ms = total_sim_ms_;
       s.calibration_sim_ms = calibration_sim_ms_;
       s.stages = stages_;
+      // Stage-3 attribution: every classify/concat launch lands in the
+      // aggregate concat stats exactly once (group-level batched passes
+      // via record_group, per-query pairs via record_query).
+      s.concat_launches = stages_.concat_stats.kernels_launched;
+      s.relax_guard_trips = stages_.guard_trips;
       for (double w : per_executor_)
         s.makespan_sim_ms = std::max(s.makespan_sim_ms, w);
       if (exact_percentiles_) sorted = latencies_;
@@ -306,6 +331,8 @@ class StatsCollector {
   obs::Counter& m_window_flushes_;
   obs::Counter& m_window_merged_;
   obs::Counter& m_early_flushes_;
+  obs::Counter& m_concat_launches_;
+  obs::Counter& m_guard_trips_;
 };
 
 }  // namespace drtopk::serve

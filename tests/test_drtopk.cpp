@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "core/concat_batched.hpp"
 #include "core/dr_topk.hpp"
 #include "data/distributions.hpp"
 
@@ -661,6 +662,223 @@ TEST(KappaHook, SharpenedThresholdShrinksCandidatesAndStaysExact) {
   EXPECT_EQ(rh.keys, rp.keys);
   EXPECT_LE(bd_hook.concat_len, bd_plain.concat_len);
   EXPECT_LE(bd_hook.taken_delegates, bd_plain.taken_delegates);
+}
+
+// ---- Group-wide batched stage 3 (core/concat_batched.hpp) ----
+
+/// One per-query fused stage 3 (classify + concat) for a single threshold:
+/// the reference the batched engine must reproduce segment by segment.
+template <class K>
+struct FusedStage3 {
+  ConcatClassification cls;
+  std::vector<u8> taken;
+  std::vector<u32> qualified, partial;
+  std::vector<K> cand;  ///< sorted candidate multiset
+};
+
+template <class K>
+FusedStage3<K> run_fused_stage3(std::span<const K> v, std::span<const K> dkeys,
+                                u64 S, u32 beta, int alpha, K kappa,
+                                bool filter) {
+  FusedStage3<K> f;
+  f.taken.assign(S, 0);
+  f.qualified.assign(S, 0);
+  f.partial.assign(S, 0);
+  f.cls.taken = std::span<u8>(f.taken.data(), f.taken.size());
+  f.cls.qualified = std::span<u32>(f.qualified.data(), f.qualified.size());
+  f.cls.partial = std::span<u32>(f.partial.data(), f.partial.size());
+  topk::Accum acc(shared_device());
+  classify_subranges_fused<K>(acc, dkeys, S, beta, alpha, v.size(), kappa,
+                              f.cls, false);
+  f.cand.assign(v.size(), K{});
+  std::array<u64, 1> cur{};
+  concat_candidates_fused<K>(
+      acc, v, dkeys, beta, alpha, kappa, filter,
+      std::span<const u32>(f.qualified.data(), f.qualified.size()),
+      f.cls.qualified_count,
+      std::span<const u32>(f.partial.data(), f.partial.size()),
+      f.cls.partial_count, std::span<K>(f.cand.data(), f.cand.size()),
+      std::span<u64>(cur.data(), 1));
+  f.cand.resize(cur[0]);
+  std::sort(f.cand.begin(), f.cand.end());
+  return f;
+}
+
+/// Scratch + segment descriptors for one batched stage-3 run.
+template <class K>
+struct BatchedScratch {
+  std::vector<std::vector<u8>> taken;
+  std::vector<std::vector<u32>> qualified, partial;
+  std::vector<std::vector<K>> cand;
+  std::vector<BatchedConcatSegment<K>> segs;
+
+  BatchedScratch(u64 nsegs, u64 S, const std::vector<K>& kappas)
+      : taken(nsegs, std::vector<u8>(S, 0)),
+        qualified(nsegs, std::vector<u32>(S, 0)),
+        partial(nsegs, std::vector<u32>(S, 0)),
+        cand(nsegs),
+        segs(nsegs) {
+    for (u64 i = 0; i < nsegs; ++i) {
+      segs[i].kappa = kappas[i];
+      segs[i].taken = std::span<u8>(taken[i].data(), taken[i].size());
+      segs[i].qualified =
+          std::span<u32>(qualified[i].data(), qualified[i].size());
+      segs[i].partial = std::span<u32>(partial[i].data(), partial[i].size());
+    }
+  }
+  /// Sizes every segment's candidate span by the shared capacity rule
+  /// (what the serving setup allocates from the group arena).
+  void size_cand(u64 S, u32 beta, int alpha, u64 n) {
+    for (u64 i = 0; i < segs.size(); ++i) {
+      if (segs[i].skip) continue;
+      cand[i].assign(batched_concat_capacity(segs[i], S, beta, alpha, n),
+                     K{});
+      segs[i].cand = std::span<K>(cand[i].data(), cand[i].size());
+    }
+  }
+  std::span<BatchedConcatSegment<K>> span() {
+    return std::span<BatchedConcatSegment<K>>(segs.data(), segs.size());
+  }
+};
+
+/// Stage-2 threshold for a segment: the k-th largest delegate, exactly
+/// what the group's batched first top-k resolves.
+template <class K>
+std::vector<K> kappas_for(std::span<const K> dkeys,
+                          const std::vector<u64>& ks) {
+  std::vector<K> out;
+  for (u64 k : ks)
+    out.push_back(
+        reference_topk(dkeys, std::min<u64>(k, dkeys.size())).back());
+  return out;
+}
+
+template <class K>
+void expect_batched_matches_fused(std::span<const K> vs, int alpha, u32 beta,
+                                  bool filter, const std::vector<u64>& ks,
+                                  const std::string& tag) {
+  topk::Accum dacc(shared_device());
+  auto dv = build_delegate_vector<K>(dacc, vs, alpha, beta);
+  const u64 S = dv.num_subranges;
+  std::vector<K> dhost(dv.keys.begin(), dv.keys.end());
+  std::span<const K> dkeys(dhost.data(), dhost.size());
+
+  const std::vector<K> kappas = kappas_for<K>(dkeys, ks);
+  BatchedScratch<K> b(kappas.size(), S, kappas);
+
+  topk::Accum acc(shared_device());
+  classify_subranges_batched<K>(acc, dkeys, S, beta, alpha, vs.size(),
+                                b.span());
+  b.size_cand(S, beta, alpha, vs.size());
+  concat_candidates_batched<K>(acc, vs, dkeys, beta, alpha, filter, b.span());
+  // The whole point: one classify + one concat launch for ALL segments.
+  EXPECT_EQ(acc.stats().kernels_launched, 2u) << tag;
+
+  for (u64 i = 0; i < kappas.size(); ++i) {
+    const auto f =
+        run_fused_stage3<K>(vs, dkeys, S, beta, alpha, kappas[i], filter);
+    const std::string at = tag + " seg=" + std::to_string(i);
+    EXPECT_EQ(b.segs[i].qualified_count, f.cls.qualified_count) << at;
+    EXPECT_EQ(b.segs[i].partial_count, f.cls.partial_count) << at;
+    EXPECT_EQ(b.segs[i].partial_taken, f.cls.partial_taken) << at;
+    EXPECT_EQ(b.segs[i].taken_total, f.cls.taken_total) << at;
+    EXPECT_EQ(b.taken[i], f.taken) << at;
+    ASSERT_LE(b.segs[i].cand_count, b.cand[i].size()) << at;
+    std::vector<K> got(b.cand[i].begin(),
+                       b.cand[i].begin() + b.segs[i].cand_count);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, f.cand) << at;  // same candidate MULTISET per segment
+  }
+}
+
+TEST(BatchedConcat, MatchesFusedPerSegmentAcrossDistributions) {
+  // Distinct AND duplicate ks in one batch (the serving dedup layer feeds
+  // one segment per dedup class, but duplicates must also stay correct).
+  const std::vector<u64> ks = {1, 16, 16, 333, 1000};
+  for (Distribution d : {Distribution::kUniform, Distribution::kNormal,
+                         Distribution::kCustomized}) {
+    const u64 n = (1 << 16) + 5;  // ragged tail subrange
+    auto v = data::generate(n, d, 91);
+    std::span<const u32> vs(v.data(), v.size());
+    for (int alpha : {6, 8}) {
+      for (u32 beta : {1u, 2u, 4u}) {
+        expect_batched_matches_fused<u32>(
+            vs, alpha, beta, true, ks,
+            data::to_string(d) + " a" + std::to_string(alpha) + " b" +
+                std::to_string(beta));
+      }
+    }
+    // No Rule-2 filtering: qualified subranges stream whole.
+    expect_batched_matches_fused<u32>(vs, 6, 2, false, ks,
+                                      data::to_string(d) + " nofilt");
+  }
+}
+
+TEST(BatchedConcat, MatchesFusedOn64BitKeys) {
+  const u64 n = 1 << 15;
+  std::vector<u64> v(n);
+  for (u64 i = 0; i < n; ++i) v[i] = data::rand_u64(44, i);
+  std::span<const u64> vs(v.data(), v.size());
+  expect_batched_matches_fused<u64>(vs, 7, 2, true, {5, 64, 900}, "u64");
+}
+
+TEST(BatchedConcat, PerSegmentRetryLeavesSkippedSegmentsUntouched) {
+  // The relaxation-guard shape: classify at relaxed (lower) thresholds,
+  // then re-threshold ONLY segment 0 at its exact kappa — segment 1 is
+  // marked skip and must keep its relaxed results bit for bit.
+  const u64 n = 1 << 15;
+  auto v = data::generate(n, Distribution::kNormal, 92);
+  std::span<const u32> vs(v.data(), v.size());
+  const int alpha = 6;
+  const u32 beta = 2;
+
+  topk::Accum dacc(shared_device());
+  auto dv = build_delegate_vector<u32>(dacc, vs, alpha, beta);
+  const u64 S = dv.num_subranges;
+  std::vector<u32> dhost(dv.keys.begin(), dv.keys.end());
+  std::span<const u32> dkeys(dhost.data(), dhost.size());
+
+  const std::vector<u32> exact = kappas_for<u32>(dkeys, {64, 300});
+  std::vector<u32> relaxed = exact;
+  for (auto& kp : relaxed) kp = kp - kp / 4;  // a valid lower bound
+
+  BatchedScratch<u32> b(2, S, relaxed);
+  topk::Accum acc(shared_device());
+  classify_subranges_batched<u32>(acc, dkeys, S, beta, alpha, n, b.span());
+  b.size_cand(S, beta, alpha, n);
+  concat_candidates_batched<u32>(acc, vs, dkeys, beta, alpha, true, b.span());
+  const BatchedConcatSegment<u32> seg1_before = b.segs[1];
+  const std::vector<u32> seg1_cand(
+      b.cand[1].begin(), b.cand[1].begin() + b.segs[1].cand_count);
+
+  // Retry: segment 0 re-thresholds at its exact kappa, segment 1 skips.
+  b.segs[0].kappa = exact[0];
+  b.segs[1].skip = true;
+  classify_subranges_batched<u32>(acc, dkeys, S, beta, alpha, n, b.span(),
+                                  /*reuse_taken=*/true);
+  concat_candidates_batched<u32>(acc, vs, dkeys, beta, alpha, true, b.span());
+
+  // Segment 0 now matches a from-scratch fused pass at the exact kappa.
+  const auto f0 = run_fused_stage3<u32>(vs, dkeys, S, beta, alpha, exact[0],
+                                        true);
+  EXPECT_EQ(b.segs[0].qualified_count, f0.cls.qualified_count);
+  EXPECT_EQ(b.segs[0].partial_count, f0.cls.partial_count);
+  EXPECT_EQ(b.segs[0].partial_taken, f0.cls.partial_taken);
+  EXPECT_EQ(b.segs[0].taken_total, f0.cls.taken_total);
+  std::vector<u32> got0(b.cand[0].begin(),
+                        b.cand[0].begin() + b.segs[0].cand_count);
+  std::sort(got0.begin(), got0.end());
+  EXPECT_EQ(got0, f0.cand);
+
+  // Segment 1 is untouched: counters and candidates as the relaxed pass
+  // left them.
+  EXPECT_EQ(b.segs[1].qualified_count, seg1_before.qualified_count);
+  EXPECT_EQ(b.segs[1].partial_count, seg1_before.partial_count);
+  EXPECT_EQ(b.segs[1].taken_total, seg1_before.taken_total);
+  EXPECT_EQ(b.segs[1].cand_count, seg1_before.cand_count);
+  const std::vector<u32> seg1_after(
+      b.cand[1].begin(), b.cand[1].begin() + b.segs[1].cand_count);
+  EXPECT_EQ(seg1_after, seg1_cand);
 }
 
 // ---- Typed frontend ----

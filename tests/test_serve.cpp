@@ -745,6 +745,176 @@ TEST(Serve, WindowEarlyFlushOffReplaysTimerOnlyBehavior) {
   }
 }
 
+TEST(Serve, BatchedConcatParityMatrixAcrossConfigs) {
+  // The PR-8 acceptance parity matrix: group-wide batched stage 3 on vs
+  // off (the PR-7 per-query stage 3) x dedup on/off, over distributions,
+  // widths, criteria, selection_only and duplicate ks — every combination
+  // bit-identical, and the baseline bit-identical to the reference.
+  auto a = data::generate(1 << 15, Distribution::kUniform, 181);
+  auto b = data::generate((1 << 14) + 99, Distribution::kNormal, 182);
+  auto c = data::generate(1 << 14, Distribution::kCustomized, 183);
+  std::vector<u64> d(1 << 13);
+  for (u64 i = 0; i < d.size(); ++i) d[i] = data::rand_u64(184, i);
+  std::span<const u32> as(a.data(), a.size());
+  std::span<const u32> bs(b.data(), b.size());
+  std::span<const u32> cs(c.data(), c.size());
+  std::span<const u64> dsn(d.data(), d.size());
+
+  std::vector<Query> queries;
+  for (int rep = 0; rep < 2; ++rep) {  // duplicate ks exercise dedup
+    for (u64 k : {u64{1}, u64{33}, u64{512}, u64{1000}}) {
+      queries.push_back(Query::view(as, k));
+      queries.push_back(Query::view(bs, k, Criterion::kSmallest));
+      queries.push_back(Query::view(cs, k, Criterion::kLargest,
+                                    /*selection_only=*/true));
+      queries.push_back(Query::view(dsn, k));
+    }
+  }
+
+  std::vector<std::vector<QueryResult>> runs;
+  for (bool batched_concat : {true, false}) {
+    for (bool dedup : {true, false}) {
+      ServerConfig cfg;
+      cfg.executors = 3;
+      cfg.batched_concat = batched_concat;
+      cfg.dedup = dedup;
+      TopkServer server(shared_device(), cfg);
+      runs.push_back(server.run_batch(queries));
+      if (batched_concat) EXPECT_GE(server.stats().concat_launches, 1u);
+    }
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].values, runs[0][i].values)
+          << "run " << run << " query " << i;
+      EXPECT_EQ(runs[run][i].kth, runs[0][i].kth)
+          << "run " << run << " query " << i;
+    }
+  }
+  // Anchor the agreeing configurations to the reference answers.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    std::vector<u64> expect = q.width() == KeyWidth::k64
+                                  ? reference_topk(q.data64(), q.k)
+                                  : widen(reference_topk(q.data32(), q.k));
+    if (q.criterion == Criterion::kSmallest) {
+      std::vector<u64> all(q.data32().begin(), q.data32().end());
+      std::sort(all.begin(), all.end());
+      all.resize(q.k);
+      expect = all;
+    }
+    if (q.selection_only) {
+      ASSERT_EQ(runs[0][i].values.size(), 1u) << i;
+      EXPECT_EQ(runs[0][i].kth, expect.back()) << i;
+    } else {
+      EXPECT_EQ(runs[0][i].values, expect) << i;
+    }
+  }
+}
+
+TEST(Serve, BatchedConcatOneLaunchPairPerWarmedGroup) {
+  // THE launch-count regression test: with batched_concat a warmed group
+  // of 16 distinct-k queries costs ONE classify + ONE concat launch
+  // (stage 3) and ~5 device launches total — construct, batched kappa,
+  // classify, concat, batched finalize. Member queries launch nothing.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kUniform, 191);
+  std::span<const u32> vs(v.data(), v.size());
+
+  vgpu::Device dev(vgpu::GpuProfile::v100s());  // private launch ledger
+  ServerConfig cfg;
+  cfg.executors = 1;  // deterministic grouping: one group per batch
+  cfg.batch_max = 16;
+  TopkServer server(dev, cfg);
+
+  std::vector<Query> queries;
+  for (u64 i = 0; i < 16; ++i) queries.push_back(Query::view(vs, 32 * (i + 1)));
+
+  (void)server.run_batch(queries);  // warm: plans calibrate, arenas grow
+  (void)server.run_batch(queries);
+  const ServerStats warm = server.stats();
+  const u64 warm_launches = dev.total_stats().kernels_launched;
+
+  const u64 rounds = 3;
+  for (u64 r = 0; r < rounds; ++r) {
+    auto results = server.run_batch(queries);
+    for (size_t i = 0; i < queries.size(); ++i)
+      ASSERT_EQ(results[i].values, widen(reference_topk(vs, queries[i].k)))
+          << i;
+  }
+  const ServerStats after = server.stats();
+  const u64 groups = after.groups - warm.groups;
+  EXPECT_EQ(groups, rounds);
+  // Exactly one classify + one concat launch per group, regardless of the
+  // 16 member ks.
+  EXPECT_EQ(after.concat_launches - warm.concat_launches, 2 * groups);
+  EXPECT_EQ(after.finalize_launches - warm.finalize_launches, groups);
+  EXPECT_EQ(after.relax_guard_trips, 0u);  // exact kappas: guard never fires
+  // The whole-pipeline launch budget: at most 6 launches per group — vs
+  // 16 queries * ~2 stage-3 launches each on the per-query path.
+  const u64 launches = dev.total_stats().kernels_launched - warm_launches;
+  EXPECT_LE(launches, 6 * groups);
+  const double lpq = static_cast<double>(launches) /
+                     static_cast<double>(queries.size() * rounds);
+  EXPECT_LT(lpq, 0.5);
+}
+
+TEST(Serve, RelaxationGuardTripsAreCountedAndExported) {
+  // All-equal data makes every delegate >= kappa, so the per-query path's
+  // Section 4.3 relaxation guard must fire (taken_total > 4k), be counted
+  // in ServerStats, and be visible in the Prometheus exposition. The
+  // batched-concat path feeds exact kappas, so it never trips the guard —
+  // the counter is the observability seam proving that.
+  std::vector<u32> v(1 << 20, 42u);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 1;
+  cfg.batched_select = false;  // per-query pipeline: relaxation active
+  // Pin a small subrange size: the delegate vector must outgrow the
+  // single-launch shared-memory first top-k (which is exact and would
+  // bypass the relaxation entirely).
+  cfg.base.alpha = 5;
+  TopkServer server(shared_device(), cfg);
+  auto r = server.submit(Query::view(vs, 16)).get();
+  EXPECT_EQ(r.values, std::vector<u64>(16, 42u));
+
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.relax_guard_trips, 1u);
+  EXPECT_NE(server.metrics_prometheus().find("serve_relax_guard_trips"),
+            std::string::npos);
+}
+
+TEST(Serve, BatchedConcatStreamedLateJoinersStayExact) {
+  // Streamed one-at-a-time submits with batched_concat: late joiners whose
+  // k missed the group's precomputed stage 3 fall back to the per-item
+  // deferred path inside the same group; everything stays exact across
+  // duplicate and distinct ks.
+  const u64 n = 1 << 16;
+  auto v = data::generate(n, Distribution::kNormal, 193);
+  std::span<const u32> vs(v.data(), v.size());
+
+  ServerConfig cfg;
+  cfg.executors = 2;
+  cfg.batched_concat = true;
+  TopkServer server(shared_device(), cfg);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<QueryResult>> futures;
+    std::vector<u64> ks;
+    for (int i = 0; i < 12; ++i) {
+      const u64 k = 16 + 16 * static_cast<u64>(i % 6);
+      ks.push_back(k);
+      futures.push_back(server.submit(Query::view(vs, k)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i)
+      EXPECT_EQ(futures[i].get().values, widen(reference_topk(vs, ks[i])))
+          << "round " << round << " query " << i;
+  }
+  EXPECT_EQ(server.stats().completed, 36u);
+  EXPECT_EQ(server.stats().failed, 0u);
+}
+
 TEST(Serve, FallbackWhenDelegationInfeasible) {
   // k close to n: delegation infeasible, server must degrade to the direct
   // path and still answer exactly.

@@ -282,6 +282,34 @@ TEST(Sharded, UnifiedTraceHasOneProcessPerShard) {
   EXPECT_FALSE(off.dump_trace(path));
 }
 
+TEST(Sharded, PlanSharingSkipsSiblingCalibrationProbes) {
+  // Four same-shape single-shard corpora land round-robin on different
+  // shards (min_shard_elems keeps each corpus on one device). Shard 0
+  // calibrates once; drain() cross-publishes the plan, so the other
+  // N-1 shards answer recurring shapes without ever probing.
+  auto v = data::generate(1 << 16, Distribution::kUniform, 102);
+  std::span<const u32> vs(v.data(), v.size());
+  ShardedConfig cfg;
+  cfg.num_shards = 4;
+  cfg.min_shard_elems = u64{1} << 30;  // single-shard placement
+  ShardedTopkServer srv(cfg);
+  std::vector<u32> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(srv.register_corpus(vs));
+  for (auto id : ids) EXPECT_EQ(srv.corpus_shards(id), 1u);
+
+  auto expect = topk::reference_topk(vs, 128);
+  EXPECT_EQ(srv.submit(ids[0], 128).get().values, widen(expect));
+  srv.drain();  // publishes shard 0's calibrated plan to the siblings
+
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(srv.submit(ids[i], 128).get().values, widen(expect));
+  srv.drain();
+
+  auto st = srv.stats();
+  EXPECT_GE(st.plan_publishes, 3u);       // adopted by the 3 siblings
+  EXPECT_EQ(st.plan_probes_skipped, 3u);  // (N-1)/N probe sets never ran
+}
+
 TEST(Sharded, ManyQueriesBatchThroughTheMergeThread) {
   // A burst of in-flight queries: the merge thread drains whatever queued
   // while it blocked, so rounds cover >= 1 query and everything completes.
