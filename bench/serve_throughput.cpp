@@ -58,6 +58,8 @@ struct ServerRun {
   u64 concat_launches = 0;   ///< stage-3 classify/concat (ServerStats field)
   u64 second_launches = 0;
   u64 relax_guard_trips = 0;
+  u64 relax_guard_skips = 0;  ///< guard trips a recall target waved off
+  u64 approx_queries = 0;     ///< queries run under a recall target
   u64 deduped = 0;            ///< queries served from a shared phase A
   u64 dedup_classes = 0;      ///< query classes that shared
   u64 window_flushes = 0;     ///< cross-group staging flushes
@@ -127,6 +129,8 @@ ServerRun measure_server(serve::TopkServer& server, vgpu::Device& dev,
   out.second_launches = after.stages.second_stats.kernels_launched -
                         warm.stages.second_stats.kernels_launched;
   out.relax_guard_trips = after.relax_guard_trips - warm.relax_guard_trips;
+  out.relax_guard_skips = after.relax_guard_skips - warm.relax_guard_skips;
+  out.approx_queries = after.approx_queries - warm.approx_queries;
   out.deduped = after.deduped_queries - warm.deduped_queries;
   out.dedup_classes = after.dedup_classes - warm.dedup_classes;
   out.window_flushes = after.window_flushes - warm.window_flushes;
@@ -160,6 +164,20 @@ bool check_parity(vgpu::Device& dev, serve::ServerConfig cfg,
   return true;
 }
 
+/// Measured recall against the exact oracle: multiset intersection over
+/// the two top-k lists divided by k (duplicate winners must each be
+/// matched — an equal value elsewhere legitimately covers a miss).
+double recall_of(std::vector<u64> got, std::vector<u64> oracle) {
+  std::sort(got.begin(), got.end());
+  std::sort(oracle.begin(), oracle.end());
+  std::vector<u64> inter;
+  std::set_intersection(got.begin(), got.end(), oracle.begin(), oracle.end(),
+                        std::back_inserter(inter));
+  return oracle.empty() ? 1.0
+                        : static_cast<double>(inter.size()) /
+                              static_cast<double>(oracle.size());
+}
+
 /// Parses a comma-separated numeric list flag value; returns false (and
 /// reports) on malformed input — the CI gates key off specific sweep points
 /// being present, so silent reinterpretation is not an option.
@@ -191,18 +209,36 @@ int main(int argc, char** argv) {
   std::string json5 = "BENCH_PR5.json";
   std::string json6 = "BENCH_PR6.json";
   std::string json8 = "BENCH_PR8.json";
+  std::string json9 = "BENCH_PR9.json";
   std::string trace_path, prom_path;
   bool breakdown = false;
   std::vector<double> dup_rates = {0.0, 0.25, 0.5};
   std::vector<u64> window_list = {0, 20000};
+  std::vector<double> recall_targets = {0.8, 0.9, 0.99};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("serve_throughput extras: [--group-size=A,B,...]"
                   " [--json3=PATH] [--json5=PATH] [--json6=PATH]"
-                  " [--json8=PATH] [--dup-rate=R,R,...]"
+                  " [--json8=PATH] [--json9=PATH] [--dup-rate=R,R,...]"
                   " [--finalize-window-us=W,W,...]"
+                  " [--recall-target=R,R,...]"
                   " [--trace=PATH] [--prom=PATH] [--breakdown]\n");
+    } else if (arg.rfind("--json9=", 0) == 0) {
+      json9 = arg.substr(8);
+    } else if (arg.rfind("--recall-target=", 0) == 0) {
+      recall_targets.clear();
+      bool in_range = true;
+      if (!parse_list(arg.c_str() + 16, "--recall-target", [&](double v) {
+            in_range = in_range && v >= 0.5 && v < 1.0;
+            recall_targets.push_back(v);
+          }))
+        return 2;
+      if (recall_targets.empty() || !in_range) {
+        std::fprintf(stderr, "--recall-target wants one or more targets in"
+                             " [0.5, 1)\n");
+        return 2;
+      }
     } else if (arg.rfind("--json8=", 0) == 0) {
       json8 = arg.substr(8);
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -899,6 +935,125 @@ int main(int argc, char** argv) {
     pf << on_server.metrics_prometheus();
     std::printf("prometheus: %s -> %s\n", pf.good() ? "written" : "FAILED",
                 prom_path.c_str());
+  }
+
+  // ------------------------------------------------------------------
+  // PR 9: exactness as a per-query policy — the recall-vs-speedup curve.
+  // The tracing section's deterministic workload shape (4 groups of 16
+  // distinct-k queries, k = 64..1024) run exact once as the baseline,
+  // then once per --recall-target. An approx group collapses to
+  // construction (beta = 1) plus one batched full-sort stage 2 — no
+  // classify/concat, no second selection — so the gain column is the
+  // measured price of exactness. Recall against the exact oracle is
+  // computed per query on a final batch and fed back through
+  // record_recall (the same path the histogram exports). CI gate:
+  // min recall >= target on EVERY row, gain >= 1.3x at rho = 0.9,
+  // exact parity true, zero unattributed launches.
+  // ------------------------------------------------------------------
+  const u64 gsz9 = 16, groups9 = 4, q9 = gsz9 * groups9;
+  std::vector<serve::Query> eqs;
+  for (u64 i = 0; i < q9; ++i)
+    eqs.push_back(serve::Query::view(span_of(doc), 64 * ((i % gsz9) + 1)));
+
+  serve::ServerConfig cfg9;
+  cfg9.executors = 4;
+  cfg9.batch_max = static_cast<u32>(gsz9);
+  cfg9.max_in_flight = static_cast<u32>(q9);
+
+  vgpu::Device edev9(vgpu::GpuProfile::v100s());
+  const ServerRun rex = run_server(edev9, cfg9, eqs, rounds);
+  vgpu::Device pdev9(vgpu::GpuProfile::v100s());
+  const bool parity9 = check_parity(pdev9, cfg9, eqs);
+  u64 unattrib9 =
+      edev9.unattributed_launches() + pdev9.unattributed_launches();
+
+  // Exact oracle per distinct k, computed once.
+  std::vector<std::vector<u64>> oracle9(gsz9);
+  for (u64 j = 0; j < gsz9; ++j) {
+    const auto ref = topk::reference_topk(span_of(doc), 64 * (j + 1));
+    oracle9[j].assign(ref.begin(), ref.end());
+  }
+
+  std::printf("\n%-6s | %9s %9s %7s | %7s %7s | %6s | %5s\n", "rho",
+              "apx QPS", "ex QPS", "gain", "recmin", "recavg", "skips",
+              "lpq");
+  bench::Json frows = bench::Json::array();
+  bool recall9_ok = true;
+  double gain_at_09 = 0;
+  bool have_09 = false;
+  for (const double rho : recall_targets) {
+    std::vector<serve::Query> aqs;
+    for (u64 i = 0; i < q9; ++i)
+      aqs.push_back(serve::Query::view(span_of(doc), 64 * ((i % gsz9) + 1))
+                        .with_recall(rho));
+    vgpu::Device adev(vgpu::GpuProfile::v100s());
+    serve::TopkServer aserver(adev, cfg9);
+    const ServerRun ra = measure_server(aserver, adev, aqs, rounds);
+    auto ares = aserver.run_batch(aqs);
+    double rmin = 1.0, rsum = 0.0;
+    for (u64 i = 0; i < q9; ++i) {
+      const double rec = recall_of(ares[i].values, oracle9[i % gsz9]);
+      aserver.record_recall(rec);
+      rmin = std::min(rmin, rec);
+      rsum += rec;
+    }
+    const double rmean = rsum / static_cast<double>(q9);
+    const double gain = rex.qps > 0 ? ra.qps / rex.qps : 0;
+    recall9_ok = recall9_ok && rmin >= rho;
+    if (std::abs(rho - 0.9) < 1e-9) {
+      gain_at_09 = gain;
+      have_09 = true;
+    }
+    unattrib9 += adev.unattributed_launches();
+
+    std::printf(
+        "%-6.3f | %9.1f %9.1f %6.2fx | %7.4f %7.4f | %6llu | %5.2f%s\n",
+        rho, ra.qps, rex.qps, gain, rmin, rmean,
+        static_cast<unsigned long long>(ra.relax_guard_skips),
+        ra.launches_per_query, rmin >= rho ? "" : "  <-- FAIL");
+
+    bench::Json row = bench::Json::object();
+    row.set("recall_target", rho)
+        .set("queries", ra.served)
+        .set("approx_queries", ra.approx_queries)
+        .set("qps_approx", ra.qps)
+        .set("qps_exact", rex.qps)
+        .set("gain_vs_exact", gain)
+        .set("recall_min", rmin)
+        .set("recall_mean", rmean)
+        .set("lpq_approx", ra.launches_per_query)
+        .set("relax_guard_skips", ra.relax_guard_skips)
+        .set("steady_ws_growths", ra.ws_growths_steady);
+    frows.push(std::move(row));
+  }
+
+  bench::Json freport = bench::Json::object();
+  freport.set("bench", "serve_fidelity")
+      .set("logn", args.logn)
+      .set("seed", args.seed)
+      .set("executors", 4)
+      .set("group_size", gsz9)
+      .set("groups_per_round", groups9)
+      .set("qps_exact", rex.qps)
+      .set("lpq_exact", rex.launches_per_query)
+      .set("parity_exact", parity9)
+      .set("recall_ok", recall9_ok)
+      .set("unattributed_launches", unattrib9);
+  if (have_09) freport.set("gain_at_rho_0_9", gain_at_09);
+  freport.set("rows", std::move(frows));
+  bench::write_json_section(json9, "serve_fidelity", freport);
+
+  std::printf("\nfidelity: exact stays bit-identical (parity %s); a recall"
+              " target rho runs beta=1\ndelegates-only construction and"
+              " skips stages 3-4 — the gain column is the\nmeasured price"
+              " of exactness.\n",
+              parity9 ? "ok" : "FAIL");
+
+  if (!parity9 || !recall9_ok) {
+    std::fprintf(stderr, "fidelity acceptance FAILED: parity=%d"
+                         " recall_ok=%d\n",
+                 static_cast<int>(parity9), static_cast<int>(recall9_ok));
+    return 1;
   }
 
   if (!ratio_ok || on.ws_growths_steady != 0 ||

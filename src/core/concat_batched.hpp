@@ -32,7 +32,11 @@
 // re-running the segments whose threshold was already exact. The serving
 // layer feeds exact kappas (resolved by the group's batched first top-k),
 // so the guard never fires there; the per-segment capability exists for
-// callers that batch relaxed thresholds.
+// callers that batch relaxed thresholds. Which segments a retry actually
+// touches is the fidelity policy's decision (core/fidelity.hpp):
+// mark_guard_retry sets `skip` on every segment whose policy tolerates
+// the relaxed threshold, so only exactness-demanding segments pay the
+// re-classification.
 //
 // Classification math is identical to core/concat_fused.hpp (same real-
 // prefix rule, same Rule 2/3 tests), so for any segment the produced
@@ -236,6 +240,30 @@ void classify_subranges_batched(topk::Accum& acc, std::span<const K> dkeys,
     segs[si].partial_taken = cells[4 * si + 2];
     segs[si].taken_total = cells[4 * si + 3];
   }
+}
+
+/// Drives the per-segment `skip` from the fidelity policy ahead of a
+/// relaxation-guard retry pass: segment i re-classifies at its exact
+/// threshold only when its relaxed taken count blew past the 4k guard AND
+/// its policy demands exactness. Approximate segments keep their relaxed
+/// candidate superset — that is the error budget at work — and are counted
+/// into `guard_skips` when the guard would have fired. Returns the number
+/// of segments left for the retry pass (0 = no retry launch needed).
+template <class K>
+u64 mark_guard_retry(std::span<BatchedConcatSegment<K>> segs,
+                     std::span<const u64> ks,
+                     std::span<const FidelityPolicy> fidelity,
+                     u64* guard_skips = nullptr) {
+  assert(ks.size() >= segs.size() && fidelity.size() >= segs.size());
+  u64 need = 0;
+  for (u64 i = 0; i < segs.size(); ++i) {
+    const bool tripped = segs[i].taken_total > 4 * ks[i];
+    const bool retry = tripped && fidelity[i].exact();
+    segs[i].skip = !retry;
+    if (tripped && !retry && guard_skips) ++*guard_skips;
+    if (retry) ++need;
+  }
+  return need;
 }
 
 /// ONE launch concatenates every segment's candidates: the union of all

@@ -31,7 +31,16 @@
 // chunks whose cached taken counts are all zero are skipped outright (the
 // exact kappa only rises, so untouched subranges stay untaken) — only the
 // already-taken fraction of the delegate vector is re-thresholded, not the
-// whole vector.
+// whole vector. Whether the guard retries at all is the caller's fidelity
+// policy's call (core/fidelity.hpp): an approximate query accepts the
+// relaxed threshold's candidate superset and skips the retry.
+//
+// Classification itself is also policy-aware: with `rule2 = false`
+// (approximate per-partition mode) every taken subrange lands on the
+// partial list regardless of how many of its delegates cleared kappa, so
+// concatenation gathers ONLY taken delegates — no subrange is ever
+// streamed from the input vector and the candidate set is exactly the
+// top-k of the per-subrange maxima the recall budget was sized for.
 //
 // Delegate validity is analytic: within a subrange's beta slots the real
 // delegates are a prefix of length min(beta, subrange_len) (see
@@ -40,6 +49,7 @@
 #pragma once
 
 #include "core/delegate.hpp"
+#include "core/fidelity.hpp"
 
 namespace drtopk::core {
 
@@ -96,11 +106,14 @@ void append_filtered_subrange(vgpu::Warp& w, std::span<const K> v, u64 begin,
 /// partial lists, and the four aggregate counters. With `reuse_taken`,
 /// 32-subrange chunks whose cached taken counts are all zero are skipped
 /// (valid whenever kappa did not decrease since the cached pass); the lists
-/// and counters are rebuilt from scratch either way.
+/// and counters are rebuilt from scratch either way. With `rule2 = false`
+/// (approximate fidelity) no subrange ever qualifies — taken subranges all
+/// go to the partial list, so only delegates become candidates.
 template <class K>
 void classify_subranges_fused(topk::Accum& acc, std::span<const K> dkeys,
                               u64 S, u32 beta, int alpha, u64 n, K kappa,
-                              ConcatClassification& cls, bool reuse_taken) {
+                              ConcatClassification& cls, bool reuse_taken,
+                              bool rule2 = true) {
   assert(cls.taken.size() >= S && cls.qualified.size() >= S &&
          cls.partial.size() >= S);
   const u64 len = u64{1} << alpha;
@@ -176,7 +189,7 @@ void classify_subranges_fused(topk::Accum& acc, std::span<const K> dkeys,
           tarr[l] = static_cast<u8>(t);
           if (t == 0) continue;
           cta_taken += t;
-          if (t == real) {
+          if (rule2 && t == real) {
             isq[l] = 1;
             ++qc;
           } else {

@@ -79,6 +79,16 @@ struct DrTopkConfig {
   /// must still lower-bound the global k-th element; it is carried as u64
   /// regardless of key width.
   std::function<u64(u64)> kappa_hook;
+
+  /// Exactness policy (core/fidelity.hpp). Exact (the default) is
+  /// bit-identical to the pipeline as it always was. A recall target
+  /// switches to the per-partition approximate mode: beta collapses to 1
+  /// (resolve_beta), alpha comes from the error budget (approx_alpha),
+  /// classification is delegates-only (no Rule-2 qualified streaming),
+  /// and the relaxation-guard retry is skipped (counted in
+  /// StageBreakdown::guard_skips). The answer is the top-k of the
+  /// per-subrange maxima, with E[recall] >= the target.
+  FidelityPolicy fidelity;
 };
 
 /// alpha sentinel: delegation was *determined* infeasible (k too close to
@@ -105,13 +115,38 @@ inline DrTopkConfig apply_plan(DrTopkConfig cfg, const ExecPlan& p) {
   return cfg;
 }
 
+/// Effective delegates-per-subrange under the config's fidelity policy:
+/// approximate mode keeps only each subrange's maximum (the per-partition
+/// scheme needs exactly one representative), exact mode keeps the
+/// configured beta. The single source of truth shared by dr_topk_keys,
+/// the serving layer's shared construction, and plan calibration.
+inline u32 resolve_beta(const DrTopkConfig& cfg) {
+  const u32 beta = std::clamp<u32>(cfg.beta, 1, kMaxBeta);
+  return cfg.fidelity.exact() ? beta : 1;
+}
+
+/// Largest subrange exponent the fidelity policy's error budget allows:
+/// the subrange count n >> alpha must stay >= approx_min_subranges(k).
+/// Bigger alpha = fewer delegates = faster, so the budget cap IS the
+/// choice — Rule 4's stage-1/stage-3 balance is irrelevant when stage 3
+/// never streams subranges. Returns -1 when delegation is infeasible.
+inline int approx_alpha(u64 n, u64 k, const FidelityPolicy& f) {
+  const u64 smin = approx_min_subranges(k, f);
+  int alpha = 1;
+  while ((n >> (alpha + 1)) >= smin) ++alpha;
+  return clamp_alpha(n, k, 1, alpha);
+}
+
 /// Resolves the pipeline's subrange exponent for (n, k): an explicit
-/// cfg.alpha wins, otherwise Rule 4's closed form, then the feasibility
+/// cfg.alpha wins, otherwise Rule 4's closed form (exact fidelity) or the
+/// recall budget's cap (approximate fidelity), then the feasibility
 /// clamp. Returns -1 when no feasible alpha exists (k too close to n).
 /// The single source of truth shared by dr_topk_keys, the serving layer's
 /// shared construction, and plan calibration.
 inline int resolve_alpha(u64 n, u64 k, u32 beta, const DrTopkConfig& cfg) {
   if (cfg.alpha <= kDirectAlpha) return -1;  // calibrated: go direct, no tuner
+  if (cfg.alpha < 0 && !cfg.fidelity.exact())
+    return approx_alpha(n, k, cfg.fidelity);
   const int alpha = cfg.alpha >= 0
                         ? cfg.alpha
                         : AlphaTuner{cfg.tuner_const}.rule4_alpha(n, k);
@@ -181,6 +216,7 @@ struct StageBreakdown {
   bool second_skipped = false;  ///< Rule 3 fast path (Figure 8b)
   bool fallback_direct = false; ///< k too large for delegation; ran directly
   u64 guard_trips = 0;  ///< relaxation-guard re-thresholds (tie-heavy data)
+  u64 guard_skips = 0;  ///< guard fires the fidelity policy waved off
 
   double total_ms() const {
     return construct_ms + first_ms + concat_ms + second_ms;
@@ -204,6 +240,7 @@ struct StageBreakdown {
     qualified_subranges += o.qualified_subranges;
     taken_delegates += o.taken_delegates;
     guard_trips += o.guard_trips;
+    guard_skips += o.guard_skips;
     return *this;
   }
 };
@@ -257,13 +294,22 @@ topk::TopkResult<K> dr_topk_from_delegates(
   // is a collective exchange that every rank performs exactly once, and
   // the relaxation guard below may recompute.
   const bool ext_kappa = ds && ds->have_kappa;
+  // Approximate fidelity (per-partition mode): the answer is the top-k of
+  // the delegates themselves, so classification is delegates-only (Rule 2
+  // never streams a subrange) and a relaxed threshold needs no guard — it
+  // only widens the candidate superset the error budget already covers.
+  const bool approx = !cfg.fidelity.exact();
   const bool small_first =
       !ext_kappa && cfg.small_input_shared &&
       cfg.first_algo == topk::Algo::kRadixFlag &&
       topk::small_topk_fits<K>(dev.profile(), dkeys.size());
+  // The relaxation needs beta > 1 for the exact rules to absorb the looser
+  // threshold; under approximate fidelity it is always sound (any
+  // kappa <= the exact one keeps every top-k delegate a candidate).
   const bool relax =
-      !ext_kappa && !small_first && cfg.skip_last_first_iter && beta > 1 &&
-      !cfg.kappa_hook && cfg.first_algo == topk::Algo::kRadixFlag;
+      !ext_kappa && !small_first && cfg.skip_last_first_iter &&
+      (beta > 1 || approx) && !cfg.kappa_hook &&
+      cfg.first_algo == topk::Algo::kRadixFlag;
   K kappa;
   {
     // Defaulting stage scope: serve's "calibrate" (plan-cache probes) wins
@@ -316,8 +362,10 @@ topk::TopkResult<K> dr_topk_from_delegates(
 
   // The legacy path needs the sid tags; a delegate vector built without
   // them (emit_sids=false) can only run fused — degrade gracefully rather
-  // than read an empty span.
-  const bool run_fused = cfg.fused_concat || dsids.empty();
+  // than read an empty span. Approximate fidelity also forces the fused
+  // path: its delegates-only classification lives there, and the legacy
+  // three-pass stage stays a faithful exact baseline.
+  const bool run_fused = cfg.fused_concat || dsids.empty() || approx;
   if (run_fused) {
     // Fused single-pass design (core/concat_fused.hpp): one delegate pass
     // produces the per-subrange taken-count array plus the qualified and
@@ -327,27 +375,33 @@ topk::TopkResult<K> dr_topk_from_delegates(
     cls.qualified = ws.alloc<u32>(S);
     cls.partial = ws.alloc<u32>(S);
     classify_subranges_fused(a3, dkeys, S, beta, dv.alpha, n, kappa, cls,
-                             /*reuse_taken=*/false);
+                             /*reuse_taken=*/false, /*rule2=*/!approx);
     // Relaxation guard: skipping the last digit is only profitable when
     // that digit barely discriminates. On tie-heavy data (e.g. ND, whose
     // whole value range fits inside one low digit) the relaxed threshold
     // admits nearly every delegate; detect the blow-up, pay for the exact
     // threshold, and re-threshold only the subranges the cached taken
     // counts say were touched (kappa can only rise, so untaken subranges
-    // stay untaken and their chunks are skipped wholesale).
+    // stay untaken and their chunks are skipped wholesale). Under
+    // approximate fidelity the retry is waved off (FidelityPolicy): extra
+    // candidates only cost the (small) second top-k, never correctness.
     if (relax && cls.taken_total > 4 * k) {
-      ++bd.guard_trips;
-      {
-        // The exact-threshold recompute is first-top-k work: relabel it
-        // back to "first" (only when stage3 owns the ambient label).
-        vgpu::StageScope guard("first", /*force=*/stage3.engaged());
-        Accum a2b(dev);
-        kappa = topk::radix_kth_flag(a2b, dkeys, k);
-        bd.first_ms += a2b.sim_ms();
-        bd.first_stats += a2b.stats();
+      if (approx) {
+        ++bd.guard_skips;
+      } else {
+        ++bd.guard_trips;
+        {
+          // The exact-threshold recompute is first-top-k work: relabel it
+          // back to "first" (only when stage3 owns the ambient label).
+          vgpu::StageScope guard("first", /*force=*/stage3.engaged());
+          Accum a2b(dev);
+          kappa = topk::radix_kth_flag(a2b, dkeys, k);
+          bd.first_ms += a2b.sim_ms();
+          bd.first_stats += a2b.stats();
+        }
+        classify_subranges_fused(a3, dkeys, S, beta, dv.alpha, n, kappa, cls,
+                                 /*reuse_taken=*/true);
       }
-      classify_subranges_fused(a3, dkeys, S, beta, dv.alpha, n, kappa, cls,
-                               /*reuse_taken=*/true);
     }
     q_count = cls.qualified_count;
     partial_total = cls.partial_taken;
@@ -358,7 +412,7 @@ topk::TopkResult<K> dr_topk_from_delegates(
     // of every qualified subrange. The only subrange that can be short is
     // the last one; its cached taken count tells whether it qualified.
     u64 qual_len = q_count * len;
-    if (S > 0) {
+    if (q_count > 0 && S > 0) {
       const u64 tail_len = dv.subrange_len(S - 1, n);
       const u64 tail_real = std::min<u64>(beta, tail_len);
       if (tail_len < len && tail_real > 0 && cls.taken[S - 1] == tail_real)
@@ -536,7 +590,7 @@ topk::TopkResult<K> dr_topk_keys(vgpu::Device& dev, std::span<const K> v,
   topk::WallTimer wall;
   const u64 n = v.size();
   assert(k >= 1 && k <= n);
-  const u32 beta = std::clamp<u32>(cfg.beta, 1, kMaxBeta);
+  const u32 beta = resolve_beta(cfg);
   const int alpha = resolve_alpha(n, k, beta, cfg);
 
   if (alpha < 0) {

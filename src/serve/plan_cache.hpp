@@ -37,11 +37,16 @@ struct PlanKey {
   u32 key_bits = 32;  ///< 32 or 64
   u32 criterion = 0;
   u32 fingerprint = 0;
+  /// FidelityPolicy::quantized_bp(): exact (10000) and each distinct recall
+  /// target calibrate separately — an approx plan (beta 1, budget-capped
+  /// alpha, no probes) must never be replayed for an exact query or for a
+  /// different target's budget.
+  u32 fidelity_bp = 10000;
 
   bool operator==(const PlanKey&) const = default;
 };
 
-/// Polynomial hash over the five PlanKey fields.
+/// Polynomial hash over the six PlanKey fields.
 struct PlanKeyHash {
   size_t operator()(const PlanKey& k) const {
     u64 h = k.log2n;
@@ -49,6 +54,7 @@ struct PlanKeyHash {
     h = h * 131 + k.key_bits;
     h = h * 131 + k.criterion;
     h = h * 131 + k.fingerprint;
+    h = h * 131 + k.fidelity_bp;
     return std::hash<u64>{}(h);
   }
 };
@@ -176,13 +182,15 @@ class PlanCache {
 
   template <class T>
   static PlanKey make_key(std::span<const T> v, u64 k,
-                          data::Criterion criterion) {
+                          data::Criterion criterion,
+                          core::FidelityPolicy fidelity = {}) {
     PlanKey key;
     key.log2n = static_cast<u32>(std::bit_width(v.size()));
     key.log2k = static_cast<u32>(std::bit_width(k));
     key.key_bits = 8 * sizeof(T);
     key.criterion = static_cast<u32>(criterion);
     key.fingerprint = data_fingerprint(v);
+    key.fidelity_bp = fidelity.quantized_bp();
     return key;
   }
 
@@ -206,7 +214,7 @@ CachedPlan PlanCache::resolve(vgpu::Device& dev, std::span<const T> v, u64 k,
                               data::Criterion criterion,
                               const core::DrTopkConfig& base, bool* hit_out,
                               vgpu::Workspace& ws) {
-  const PlanKey key = make_key(v, k, criterion);
+  const PlanKey key = make_key(v, k, criterion, base.fidelity);
   {
     std::lock_guard lk(mu_);
     auto it = map_.find(key);
@@ -241,9 +249,22 @@ CachedPlan PlanCache::calibrate(vgpu::Device& dev, std::span<const T> v,
                                 vgpu::Workspace& ws) const {
   const u64 n = v.size();
   CachedPlan out;
-  out.plan.beta = std::clamp<u32>(base.beta, 1, core::kMaxBeta);
+  out.plan.beta = core::resolve_beta(base);
   out.plan.first_algo = base.first_algo;
   out.plan.second_algo = base.second_algo;
+
+  // Approximate plans are closed-form, not probed: the recall budget alone
+  // decides alpha (approx_alpha) and beta is 1 by definition. Probing could
+  // only pick a *smaller* alpha — more delegates, same answer quality class
+  // but slower — and would make the delivered recall depend on measured
+  // noise. Deterministic sizing keeps the recall guarantee reproducible.
+  if (!base.fidelity.exact()) {
+    const int a = base.alpha >= 0
+                      ? core::clamp_alpha(n, k, out.plan.beta, base.alpha)
+                      : core::approx_alpha(n, k, base.fidelity);
+    out.plan.alpha = a < 0 ? core::kDirectAlpha : a;
+    return out;
+  }
 
   // Probe on a prefix subsample with k scaled to preserve the ratio Rule 4
   // depends on; the alpha ranking transfers to full size.

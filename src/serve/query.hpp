@@ -5,10 +5,16 @@
 // fuse into a single delegate-construction pass) or *owns* its payload
 // (ad-hoc data shipped with the request). Key widths u32/u64 are supported;
 // the criterion and selection-only flag mirror DrTopkConfig's semantics.
+//
+// Fidelity: every query carries a core::FidelityPolicy. The default is
+// exact; Query::approx-constructed policies request the recall-target mode
+// and flow through the whole path (group signature, dedup class, PlanKey,
+// core config) — see core/fidelity.hpp for the execution model.
 #pragma once
 
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/dr_topk.hpp"
@@ -19,13 +25,15 @@ namespace drtopk::serve {
 /// Key width of a query's payload; part of the admission-group signature.
 enum class KeyWidth : u8 { k32, k64 };
 
-/// One top-k request: k, criterion, selection-only flag and a payload that
-/// either views server-resident data or owns a shipped buffer (see the
-/// file comment). Cheaply copyable; construct via the factories.
+/// One top-k request: k, criterion, selection-only flag, fidelity policy
+/// and a payload that either views server-resident data or owns a shipped
+/// buffer (see the file comment). Cheaply copyable; construct via the
+/// factories.
 struct Query {
   u64 k = 1;
   data::Criterion criterion = data::Criterion::kLargest;
   bool selection_only = false;  ///< k-selection: only the k-th value needed
+  core::FidelityPolicy fidelity;  ///< exact (default) or recall target
 
   // Exactly one payload is set (enforced by the factories below). Owned
   // buffers sit behind shared_ptr so Query stays cheaply copyable.
@@ -34,45 +42,36 @@ struct Query {
   std::shared_ptr<const std::vector<u32>> own32;
   std::shared_ptr<const std::vector<u64>> own64;
 
-  static Query view(std::span<const u32> v, u64 k,
+  /// One factory per (payload kind × key width), expressed once: K selects
+  /// the width, the payload type selects view (span) vs owned (vector).
+  template <class K>
+  static Query view(std::span<const K> v, u64 k,
                     data::Criterion c = data::Criterion::kLargest,
-                    bool selection_only = false) {
-    Query q;
-    q.view32 = v;
-    q.k = k;
-    q.criterion = c;
-    q.selection_only = selection_only;
+                    bool selection_only = false,
+                    core::FidelityPolicy fidelity = {}) {
+    static_assert(std::is_same_v<K, u32> || std::is_same_v<K, u64>);
+    Query q = common(k, c, selection_only, fidelity);
+    if constexpr (std::is_same_v<K, u32>) q.view32 = v;
+    else q.view64 = v;
     return q;
   }
-  static Query view(std::span<const u64> v, u64 k,
-                    data::Criterion c = data::Criterion::kLargest,
-                    bool selection_only = false) {
-    Query q;
-    q.view64 = v;
-    q.k = k;
-    q.criterion = c;
-    q.selection_only = selection_only;
-    return q;
-  }
-  static Query owned(std::vector<u32> v, u64 k,
+  template <class K>
+  static Query owned(std::vector<K> v, u64 k,
                      data::Criterion c = data::Criterion::kLargest,
-                     bool selection_only = false) {
-    Query q;
-    q.own32 = std::make_shared<const std::vector<u32>>(std::move(v));
-    q.k = k;
-    q.criterion = c;
-    q.selection_only = selection_only;
+                     bool selection_only = false,
+                     core::FidelityPolicy fidelity = {}) {
+    static_assert(std::is_same_v<K, u32> || std::is_same_v<K, u64>);
+    Query q = common(k, c, selection_only, fidelity);
+    auto owned = std::make_shared<const std::vector<K>>(std::move(v));
+    if constexpr (std::is_same_v<K, u32>) q.own32 = std::move(owned);
+    else q.own64 = std::move(owned);
     return q;
   }
-  static Query owned(std::vector<u64> v, u64 k,
-                     data::Criterion c = data::Criterion::kLargest,
-                     bool selection_only = false) {
-    Query q;
-    q.own64 = std::make_shared<const std::vector<u64>>(std::move(v));
-    q.k = k;
-    q.criterion = c;
-    q.selection_only = selection_only;
-    return q;
+
+  /// Fluent fidelity override: `Query::view(v, k).with_recall(0.9)`.
+  Query with_recall(double rho) && {
+    fidelity = core::FidelityPolicy::approx(rho);
+    return std::move(*this);
   }
 
   KeyWidth width() const {
@@ -90,18 +89,31 @@ struct Query {
     return width() == KeyWidth::k64 ? data64().size() : data32().size();
   }
   /// Identity of the underlying buffer — the admission scheduler fuses
-  /// queries whose data_id/n/width/criterion all match into one group that
-  /// shares a single delegate-construction pass.
+  /// queries whose data_id/n/width/criterion/fidelity all match into one
+  /// group that shares a single delegate-construction pass.
   const void* data_id() const {
     return width() == KeyWidth::k64
                ? static_cast<const void*>(data64().data())
                : static_cast<const void*>(data32().data());
   }
+
+ private:
+  static Query common(u64 k, data::Criterion c, bool selection_only,
+                      core::FidelityPolicy fidelity) {
+    Query q;
+    q.k = k;
+    q.criterion = c;
+    q.selection_only = selection_only;
+    q.fidelity = fidelity;
+    return q;
+  }
 };
 
-/// The answer to one Query: exact top-k values (widened to u64), the k-th
-/// value, and per-query accounting (simulated latency including amortized
-/// shares of group-shared work, stage breakdown, cache/fusion flags).
+/// The answer to one Query: top-k values (widened to u64; exact fidelity
+/// guarantees the true multiset, a recall target guarantees it in
+/// expectation), the k-th value, and per-query accounting (simulated
+/// latency including amortized shares of group-shared work, stage
+/// breakdown, cache/fusion flags).
 struct QueryResult {
   u64 id = 0;                ///< server-assigned, monotonically increasing
   std::vector<u64> values;   ///< top-k, best-first, widened to u64

@@ -93,6 +93,11 @@ struct DedupSub {
 struct QueryClass {
   u64 k = 0;
   bool selection_only = false;
+  /// Part of the class key even though the group signature already pins it
+  /// (all members of a group share one fidelity): the invariant that an
+  /// exact and an approximate query never share a leader must not depend
+  /// on admission-grouping policy staying that way.
+  core::FidelityPolicy fidelity;
   bool shared = false;        ///< a subscriber actually joined (stats)
   /// Leader finished without deferring (Rule-3 fast path, plan-probed
   /// engines, ...): its result is stored here and later subscribers
@@ -112,6 +117,10 @@ struct Group {
   u64 n = 0;
   KeyWidth width = KeyWidth::k32;
   data::Criterion criterion = data::Criterion::kLargest;
+  /// Part of the signature: exact and recall-target queries never share a
+  /// group — they need different delegate vectors (beta/alpha differ) and
+  /// different stage-3 treatment, and the shared setup is fidelity-wide.
+  core::FidelityPolicy fidelity;
 
   u64 seq = 0;          ///< admission order (1-based); trace span grouping
   u64 park_ts_us = 0;   ///< tracer timestamp when the group parked in the
@@ -193,7 +202,7 @@ struct Group {
 
   bool compatible(const Query& q) const {
     return q.data_id() == data_id && q.n() == n && q.width() == width &&
-           q.criterion == criterion;
+           q.criterion == criterion && q.fidelity == fidelity;
   }
 };
 
@@ -262,45 +271,22 @@ class AdmissionQueue {
   bool next(Claim& out) {
     std::unique_lock lk(mu_);
     for (;;) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        Group& g = **it;
-        if (!g.setup_claimed) {
-          g.setup_claimed = true;
-          g.setup_items = g.items.size();
-          for (const Pending& p : g.items) {
-            g.setup_kmax = std::max(g.setup_kmax, p.query.k);
-            g.setup_ks.push_back(p.query.k);
-          }
-          g.setup_query = g.items.front().query;
-          out.group = *it;
-          out.needs_setup = true;
-          return true;
-        }
-        if (g.runnable && g.next < g.items.size()) {
-          out.group = *it;
-          const u64 index = g.next++;
-          out.item = &g.items[index];
-          out.amortize_over = index < g.setup_items ? g.setup_items : 0;
-          out.needs_setup = false;
-          // Claim accounting for pool_idle(): incremented in the SAME
-          // critical section as the claim, so there is never a moment
-          // where the last item left the queue but is not yet counted as
-          // running (a parked finalize window keying off pool_idle()
-          // would otherwise flush early and split the merge).
-          ++running_;
-          // Fully claimed: leave the queue (which also ends admission, so
-          // the item count is final — the batched finalizer keys off it).
-          if (g.next == g.items.size()) {
-            g.final_items = g.items.size();
-            g.closed.store(true, std::memory_order_release);
-            queue_.erase(it);
-          }
-          return true;
-        }
-      }
+      if (claim_locked(out)) return true;
       if (stop_) return false;
       work_cv_.wait(lk);
     }
+  }
+
+  /// Non-blocking next(): claims a unit of work if one is immediately
+  /// available, never waits. This is how a parked finalization-window owner
+  /// keeps the pool live: while waiting out the window it polls for queued
+  /// groups and executes them instead of idling — the PR-6 residual
+  /// single-executor limitation. Claim accounting matches next(): an item
+  /// claim increments running_, so the owner must pair it with
+  /// finish_running() (it resumes its own parked claim around the work).
+  bool try_next(Claim& out) {
+    std::lock_guard lk(mu_);
+    return claim_locked(out);
   }
 
   /// Publishes a group's setup; its items become claimable by any executor.
@@ -367,6 +353,48 @@ class AdmissionQueue {
   }
 
  private:
+  /// Claim core (mu_ held), shared by next()/try_next(): FIFO scan for a
+  /// group needing setup or an unclaimed item of a runnable group.
+  bool claim_locked(Claim& out) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      Group& g = **it;
+      if (!g.setup_claimed) {
+        g.setup_claimed = true;
+        g.setup_items = g.items.size();
+        for (const Pending& p : g.items) {
+          g.setup_kmax = std::max(g.setup_kmax, p.query.k);
+          g.setup_ks.push_back(p.query.k);
+        }
+        g.setup_query = g.items.front().query;
+        out.group = *it;
+        out.needs_setup = true;
+        return true;
+      }
+      if (g.runnable && g.next < g.items.size()) {
+        out.group = *it;
+        const u64 index = g.next++;
+        out.item = &g.items[index];
+        out.amortize_over = index < g.setup_items ? g.setup_items : 0;
+        out.needs_setup = false;
+        // Claim accounting for pool_idle(): incremented in the SAME
+        // critical section as the claim, so there is never a moment
+        // where the last item left the queue but is not yet counted as
+        // running (a parked finalize window keying off pool_idle()
+        // would otherwise flush early and split the merge).
+        ++running_;
+        // Fully claimed: leave the queue (which also ends admission, so
+        // the item count is final — the batched finalizer keys off it).
+        if (g.next == g.items.size()) {
+          g.final_items = g.items.size();
+          g.closed.store(true, std::memory_order_release);
+          queue_.erase(it);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Admission core (mu_ held): join the open tail group or start a new one.
   std::future<QueryResult> admit_locked(Query q) {
     ++in_flight_;
@@ -401,6 +429,7 @@ class AdmissionQueue {
       g->n = p.query.n();
       g->width = p.query.width();
       g->criterion = p.query.criterion;
+      g->fidelity = p.query.fidelity;
       g->items.push_back(std::move(p));
       queue_.push_back(std::move(g));
       if (tracer_) tracer_->instant(0, "group-open", qid, gseq);

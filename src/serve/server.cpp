@@ -175,39 +175,43 @@ void TopkServer::item_done() {
 
 void TopkServer::executor_loop(u32 executor_id) {
   AdmissionQueue::Claim c;
-  const bool tracing = tracer_.enabled();
   while (queue_.next(c)) {
-    if (c.needs_setup) {
-      const u64 t0 = tracing ? tracer_.now_us() : 0;
-      setup_group(*c.group, executor_id);
-      queue_.publish(c.group);
-      if (tracing)
-        tracer_.complete(lane(executor_id), "group-setup", 0, c.group->seq,
-                         t0, tracer_.now_us());
-    } else {
-      if (c.item->enqueue_ts_us != 0) {
-        const u64 now = tracer_.now_us();
-        const u64 waited = now - c.item->enqueue_ts_us;
-        if (queue_wait_us_) queue_wait_us_->observe(waited);
-        if (tracing)
-          tracer_.complete(lane(executor_id), "queue-wait", c.item->id,
-                           c.group->seq, c.item->enqueue_ts_us, now);
-      }
-      execute_item(*c.group, *c.item, c.amortize_over, executor_id);
-      // Group-completion bookkeeping (and, for the executor completing the
-      // last item, the batched finalization of every parked query) happens
-      // before the in-flight slot is released, so drain() cannot observe a
-      // drained queue with unfulfilled promises. When the group parks in
-      // the cross-group window instead, the slot release moves to the
-      // staging-area flush for the same reason.
-      if (!maybe_finalize_group(c.group, executor_id))
-        queue_.finish_item(c.group);
-      // Release the claim's running slot LAST — in particular after any
-      // window deposit above — so pool_idle() (the queue-empty early-flush
-      // predicate) can never be true while a deposit is still on its way.
-      item_done();
-    }
+    process_claim(c, executor_id);
     c.group.reset();
+  }
+}
+
+void TopkServer::process_claim(AdmissionQueue::Claim& c, u32 executor_id) {
+  const bool tracing = tracer_.enabled();
+  if (c.needs_setup) {
+    const u64 t0 = tracing ? tracer_.now_us() : 0;
+    setup_group(*c.group, executor_id);
+    queue_.publish(c.group);
+    if (tracing)
+      tracer_.complete(lane(executor_id), "group-setup", 0, c.group->seq,
+                       t0, tracer_.now_us());
+  } else {
+    if (c.item->enqueue_ts_us != 0) {
+      const u64 now = tracer_.now_us();
+      const u64 waited = now - c.item->enqueue_ts_us;
+      if (queue_wait_us_) queue_wait_us_->observe(waited);
+      if (tracing)
+        tracer_.complete(lane(executor_id), "queue-wait", c.item->id,
+                         c.group->seq, c.item->enqueue_ts_us, now);
+    }
+    execute_item(*c.group, *c.item, c.amortize_over, executor_id);
+    // Group-completion bookkeeping (and, for the executor completing the
+    // last item, the batched finalization of every parked query) happens
+    // before the in-flight slot is released, so drain() cannot observe a
+    // drained queue with unfulfilled promises. When the group parks in
+    // the cross-group window instead, the slot release moves to the
+    // staging-area flush for the same reason.
+    if (!maybe_finalize_group(c.group, executor_id))
+      queue_.finish_item(c.group);
+    // Release the claim's running slot LAST — in particular after any
+    // window deposit above — so pool_idle() (the queue-empty early-flush
+    // predicate) can never be true while a deposit is still on its way.
+    item_done();
   }
 }
 
@@ -236,14 +240,21 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
   // unfused path per item.
   const std::span<const T> values = query_data<T>(g.setup_query);
 
+  // The group's effective base config: the server baseline with the
+  // group's fidelity (part of the admission signature, so it is uniform
+  // across members). Everything downstream — feasibility, plan key,
+  // calibration, construction sizing — reads fidelity from here.
+  core::DrTopkConfig base = cfg_.base;
+  base.fidelity = g.fidelity;
+
   // Size the shared delegate vector for the largest *feasible* k among the
   // snapshot's queries: one near-n outlier must not disable fusion for the
   // whole group — it simply runs unfused (the dv.size() >= k guard), while
   // the feasible majority still shares one construction pass.
-  const u32 beta_base = std::clamp<u32>(cfg_.base.beta, 1, core::kMaxBeta);
+  const u32 beta_base = core::resolve_beta(base);
   u64 kmax = 0;
   for (const u64 k : g.setup_ks)
-    if (core::resolve_alpha(g.n, k, beta_base, cfg_.base) >= 0)
+    if (core::resolve_alpha(g.n, k, beta_base, base) >= 0)
       kmax = std::max(kmax, k);
   if (kmax == 0) kmax = g.setup_kmax;  // none feasible: plan caches direct
 
@@ -252,7 +263,7 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
   u64 group_ws_reserve = 0;
 
   // Plan: cache hit replays the calibrated decision; miss pays the probes.
-  g.plan_key = PlanCache::make_key(values, kmax, g.criterion);
+  g.plan_key = PlanCache::make_key(values, kmax, g.criterion, g.fidelity);
   if (cfg_.use_plan_cache) {
     bool hit = false;
     CachedPlan cp;
@@ -261,8 +272,8 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
       // work: the ambient label keeps them out of the per-stage breakdown
       // (the probes' internal stage scopes all default to it).
       vgpu::StageScope calibrate("calibrate");
-      cp = plans_.resolve<T>(dev_, values, kmax, g.criterion, cfg_.base,
-                             &hit, ews);
+      cp = plans_.resolve<T>(dev_, values, kmax, g.criterion, base, &hit,
+                             ews);
     }
     g.plan = cp.plan;
     g.plan_hit = hit;
@@ -279,10 +290,10 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
     g.plan_exec_ws = cp.exec_ws_bytes;
     if (cp.exec_ws_bytes) ews.reserve_bytes(cp.exec_ws_bytes);
   } else {
-    g.plan.alpha = cfg_.base.alpha;
-    g.plan.beta = cfg_.base.beta;
-    g.plan.first_algo = cfg_.base.first_algo;
-    g.plan.second_algo = cfg_.base.second_algo;
+    g.plan.alpha = base.alpha;
+    g.plan.beta = core::resolve_beta(base);
+    g.plan.first_algo = base.first_algo;
+    g.plan.second_algo = base.second_algo;
   }
 
   // Shared construction: one delegate vector serves every query of the
@@ -290,9 +301,10 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
   // Its storage lives in a pooled workspace leased for the group's
   // lifetime (executor workspaces rewind per query; the group's delegate
   // vector must not).
-  const u32 beta = std::clamp<u32>(g.plan.beta, 1, core::kMaxBeta);
-  core::DrTopkConfig planned = cfg_.base;
+  core::DrTopkConfig planned = base;
   planned.alpha = g.plan.alpha;
+  planned.beta = g.plan.beta;
+  const u32 beta = core::resolve_beta(planned);
   const int alpha = core::resolve_alpha(g.n, kmax, beta, planned);
   if (alpha >= 0) {
     // Affinity: prefer the pooled arena this executor last returned
@@ -334,7 +346,7 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
     // one sort. Per-query execution then skips its own first top-k.
     // Same gate as run_item_typed's deferral: if no member will consume
     // the batched kappas, don't pay the launch.
-    if (batched_eligible(core::apply_plan(cfg_.base, g.plan))) {
+    if (batched_eligible(core::apply_plan(base, g.plan))) {
       // Exactly the ks the per-item path will serve from the shared
       // delegate vector (run_item_typed's fused condition).
       std::vector<u64> ks;
@@ -345,10 +357,16 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
       if (!ks.empty()) {
         const auto& dvk = group_dv<Key>(g).keys;
         std::span<const Key> dkeys(dvk.data(), dvk.size());
+        // Recall-target groups: the per-partition answer IS the top-k of
+        // the delegate vector, so the batched stage-2 launch asks for the
+        // full sorted top-k per distinct k (selection_only=false) instead
+        // of just the threshold — the same one launch then doubles as the
+        // whole group's stage 3 AND stage 4 (see the approx branch below).
+        const bool approx_group = !g.fidelity.exact();
         std::vector<topk::BatchedSegment<Key>> segs;
         segs.reserve(ks.size());
         for (const u64 k : ks)
-          segs.push_back({dkeys, k, k, /*selection_only=*/true});
+          segs.push_back({dkeys, k, k, /*selection_only=*/!approx_group});
         // The batched kappa launch is the group's shared first top-k.
         vgpu::StageScope first("first");
         topk::Accum acc2(dev_);
@@ -357,7 +375,8 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
             topk::BatchedMode::kAuto, ews);
         for (size_t i = 0; i < ks.size(); ++i) {
           g.kappa_ks.push_back(ks[i]);
-          g.kappa_vals.push_back(static_cast<u64>(br.keys[i][0]));
+          g.kappa_vals.push_back(
+              static_cast<u64>(br.keys[i].back()));  // k-th = kappa
         }
         // The group paid its members' first top-k here: amortized into
         // their latencies with the construction pass.
@@ -366,6 +385,31 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
         g.setup_stages.first_stats = acc2.stats();
         executor_work += acc2.sim_ms();
 
+        if (approx_group && cfg_.batched_concat) {
+          // Approximate stage 3+4, already paid for: the batched launch
+          // above returned each distinct k's sorted top-k *of the
+          // delegates* — under the per-partition policy that is the
+          // answer. Stage each as a precomputed second_skipped entry in
+          // the group arena; items whose k matches self-serve with a host
+          // copy and launch NOTHING (run_item_typed's Rule-3 fast path —
+          // the same code path, same accounting).
+          for (size_t i = 0; i < ks.size(); ++i) {
+            auto cand = g.ws->alloc<Key>(ks[i]);
+            std::copy(br.keys[i].begin(), br.keys[i].end(), cand.begin());
+            Group::Stage3Entry e;
+            e.k = ks[i];
+            e.cand_count = ks[i];
+            e.taken_total = ks[i];
+            e.qualified = 0;
+            e.second_skipped = true;
+            std::span<const Key> cspan(cand.data(), ks[i]);
+            if constexpr (std::is_same_v<Key, u64>)
+              e.cand64 = cspan;
+            else
+              e.cand32 = cspan;
+            g.stage3.push_back(e);
+          }
+        }
         // Group-wide batched stage 3 (PR 8): the kappas above are exact,
         // so every member's classification is already decidable — run the
         // whole group's classify + concat as ONE launch pair over the
@@ -374,8 +418,10 @@ void TopkServer::setup_group_typed(Group& g, u32 executor_id) {
         // the group arena, where the deferred finalization machinery
         // consumes them (identical ks share a span, and batched_topk
         // coalesces same-span segments into one sort). Items whose k was
-        // precomputed then launch NOTHING.
-        if (cfg_.batched_concat) {
+        // precomputed then launch NOTHING. (Approx groups staged their
+        // entries above — the classify/concat pass has nothing left to
+        // compute for them.)
+        if (!approx_group && cfg_.batched_concat) {
           vgpu::StageScope concat("concat");
           topk::Accum acc3(dev_);
           const u64 S = group_dv<Key>(g).num_subranges;
@@ -435,6 +481,7 @@ void TopkServer::execute_item(Group& g, Pending& p, u64 amortize_over,
                               u32 executor_id) {
   bool deferred = false;
   try {
+    if (!p.query.fidelity.exact()) collector_.record_approx();
     vgpu::Workspace& ws = *exec_ws_[executor_id];
     if (g.plan_exec_ws) ws.reserve_bytes(g.plan_exec_ws);
     ws.reset_peak();  // per-query footprint, not this arena's lifetime peak
@@ -525,12 +572,32 @@ bool TopkServer::maybe_finalize_group(const std::shared_ptr<Group>& gp,
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(cfg_.finalize_window_us);
+    // Parked-owner work stealing: while the window is open the owner
+    // polls the admission queue and executes any claimable work itself —
+    // groups it completes deposit into its own window (the inner
+    // maybe_finalize_group sees owner_waiting) — so a single-executor
+    // server keeps draining instead of stalling queued groups behind the
+    // timer. The wait is sliced so work submitted after the owner goes to
+    // sleep is still picked up within a fraction of the window.
+    const auto slice =
+        std::chrono::microseconds(std::max<u32>(1, cfg_.finalize_window_us / 8));
     while (stage_.segments < stage_cap_) {
+      AdmissionQueue::Claim wc;
+      if (queue_.try_next(wc)) {
+        lk.unlock();
+        process_claim(wc, executor_id);
+        wc.group.reset();
+        lk.lock();
+        continue;  // re-evaluate cap/idle with the deposit (if any) counted
+      }
       if (cfg_.window_early_flush && queue_.pool_idle()) {
         early = true;
         break;
       }
-      if (stage_.cv.wait_until(lk, deadline) == std::cv_status::timeout)
+      const auto wake = std::min(deadline,
+                                 std::chrono::steady_clock::now() + slice);
+      if (stage_.cv.wait_until(lk, wake) == std::cv_status::timeout &&
+          wake == deadline)
         break;
     }
     staged.swap(stage_.groups);
@@ -726,6 +793,11 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
     if (cfg.alpha == core::kDirectAlpha) cfg.alpha = cfg_.base.alpha;
   }
   cfg.selection_only = q.selection_only;
+  // The query's fidelity governs every stage it runs itself (delegate
+  // sizing on the unfused path, delegates-only classification, guard
+  // skip); group-shared state was built under the same policy because
+  // fidelity is part of the admission signature.
+  cfg.fidelity = q.fidelity;
 
   core::StageBreakdown bd;
   if (g.has_delegates && group_dv<Key>(g).size() >= q.k) {
@@ -748,7 +820,8 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
       u32 found = kNoQueryClass;
       for (u32 i = 0; i < g.classes.size(); ++i) {
         if (g.classes[i].k == q.k &&
-            g.classes[i].selection_only == q.selection_only) {
+            g.classes[i].selection_only == q.selection_only &&
+            g.classes[i].fidelity == q.fidelity) {
           found = i;
           break;
         }
@@ -757,6 +830,7 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
         QueryClass cls;
         cls.k = q.k;
         cls.selection_only = q.selection_only;
+        cls.fidelity = q.fidelity;
         g.classes.push_back(std::move(cls));
         class_id = static_cast<u32>(g.classes.size() - 1);  // leader
       } else if (!g.classes[found].failed) {

@@ -104,12 +104,14 @@ struct ServerConfig {
   /// together in ONE shared batched launch per key width present —
   /// possibly over different corpora (the engine accepts mixed-corpus
   /// segment lists); u32 and u64 groups sharing a window still take one
-  /// launch each. The first
-  /// group to park becomes the *window owner* and blocks (at most this
-  /// long) while other executors keep draining queries, so merging needs
-  /// >= 2 executors to overlap; a single-executor server simply pays the
-  /// window as added latency. 0 (default): every group is finalized
-  /// immediately by its own last finisher, exactly the PR-3 behavior.
+  /// launch each. The first group to park becomes the *window owner* and
+  /// waits (at most this long) while other executors keep draining
+  /// queries; while parked the owner itself also polls the admission queue
+  /// (AdmissionQueue::try_next) and executes queued groups, so even a
+  /// single-executor server keeps making progress — and those groups can
+  /// join the owner's own window instead of waiting behind it. 0
+  /// (default): every group is finalized immediately by its own last
+  /// finisher, exactly the PR-3 behavior.
   u32 finalize_window_us = 0;
   /// Parked-segment count at which a window flush fires early (before the
   /// window elapses) — accumulating past the point where one launch
@@ -153,6 +155,14 @@ class TopkServer {
   /// Aggregate metrics (plan counters merged from the cache).
   ServerStats stats() const;
 
+  /// Feeds one oracle-measured recall sample (fraction of the true top-k
+  /// an answer contained, in [0, 1]) into the metrics. The server cannot
+  /// measure recall itself — that requires the exact answer it skipped
+  /// computing — so benches/tests compute it against topk::reference_topk
+  /// and report it here; it lands in ServerStats::recall_mean and the
+  /// serve_recall_measured_bp histogram.
+  void record_recall(double recall) { collector_.record_recall(recall); }
+
   /// Total arena growths (heap blocks acquired) across every executor
   /// workspace and the group workspace pool. A warmed-up server serving
   /// recurring shapes must not increase this — the allocation-regression
@@ -191,6 +201,10 @@ class TopkServer {
 
  private:
   void executor_loop(u32 executor_id);
+  /// Handles one claimed unit of work (group setup or item execution) —
+  /// the executor loop's body, also driven by a parked window owner that
+  /// polls the queue (AdmissionQueue::try_next) while its window is open.
+  void process_claim(AdmissionQueue::Claim& c, u32 executor_id);
   void setup_group(Group& g, u32 executor_id);
   void execute_item(Group& g, Pending& p, u64 amortize_over, u32 executor_id);
   /// Marks one item executed. The executor whose item completes the group

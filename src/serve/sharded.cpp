@@ -1,5 +1,7 @@
 #include "serve/sharded.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "obs/export.hpp"
@@ -87,7 +89,9 @@ u32 ShardedTopkServer::corpus_shards(CorpusId id) const {
 
 std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
                                                    data::Criterion criterion,
-                                                   bool selection_only) {
+                                                   bool selection_only,
+                                                   core::FidelityPolicy
+                                                       fidelity) {
   Corpus c;
   {
     std::lock_guard lk(corpora_mu_);
@@ -107,14 +111,36 @@ std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
     }
     TopkServer& srv = *shards_[c.first_shard].server;
     return c.width == KeyWidth::k64
-               ? srv.submit(Query::view(c.v64, k, criterion, selection_only))
-               : srv.submit(Query::view(c.v32, k, criterion, selection_only));
+               ? srv.submit(Query::view(c.v64, k, criterion, selection_only,
+                                        fidelity))
+               : srv.submit(Query::view(c.v32, k, criterion, selection_only,
+                                        fidelity));
   }
 
   // ---- Scatter: one clamped full-top-k sub-query per shard. The local
   // list must be a real top-min(k, len) (never selection-only): any global
   // winner living on shard s is within its local top-k, so the union of
   // the local lists contains the global top-k (Σ min(k, len_s) >= k). ----
+  //
+  // Under a recall target the scatter shrinks on both axes, splitting the
+  // miss budget in half: each shard runs its local pipeline at a
+  // *tightened* target (half the budget covers per-partition loss inside
+  // the shards) and serves a *reduced* local k (the other half covers
+  // truncation — the global top-k spreads ~uniformly over S shards, mean
+  // k/S per shard, and a concentration slack of 2*sqrt(mu*ln(S+1)) + 8
+  // caps how lopsided a shard's share can get). The merge itself stays the
+  // exact engine either way — it sees smaller, approximate local lists.
+  core::FidelityPolicy local = fidelity;
+  u64 reduced_k = k;
+  if (!fidelity.exact()) {
+    local = core::FidelityPolicy::approx(
+        1.0 - (1.0 - fidelity.recall_target) / 2.0);
+    const double mu = static_cast<double>(k) / static_cast<double>(c.shards);
+    reduced_k = static_cast<u64>(std::ceil(
+        mu + 2.0 * std::sqrt(mu * std::log(static_cast<double>(c.shards) +
+                                           1.0)) +
+        8.0));
+  }
   MergeJob job;
   job.k = k;
   job.criterion = criterion;
@@ -125,12 +151,14 @@ std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
   for (u32 s = 0; s < c.shards; ++s) {
     const u64 lo = static_cast<u64>(s) * c.shard_len;
     const u64 len = std::min(c.shard_len, n - lo);
-    const u64 kk = std::min(k, len);
+    const u64 kk = std::min({k, reduced_k, len});
     TopkServer& srv = *shards_[s].server;
     job.parts.push_back(
         c.width == KeyWidth::k64
-            ? srv.submit(Query::view(c.v64.subspan(lo, len), kk, criterion))
-            : srv.submit(Query::view(c.v32.subspan(lo, len), kk, criterion)));
+            ? srv.submit(Query::view(c.v64.subspan(lo, len), kk, criterion,
+                                     /*selection_only=*/false, local))
+            : srv.submit(Query::view(c.v32.subspan(lo, len), kk, criterion,
+                                     /*selection_only=*/false, local)));
   }
   auto fut = job.promise.get_future();
   {

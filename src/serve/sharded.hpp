@@ -116,11 +116,15 @@ class ShardedTopkServer {
   /// Top-k over a registered corpus. Multi-shard corpora scatter one
   /// clamped sub-query per shard and merge; single-shard corpora forward
   /// to the owning TopkServer (zero overhead — the returned future IS that
-  /// server's future).
+  /// server's future). Exact fidelity (the default) keeps the bit-exact
+  /// cross-shard merge; a recall target scatters *reduced* shard-local
+  /// sub-queries (smaller local k, tightened local target — see submit's
+  /// implementation for the budget split) and merges those exactly.
   std::future<QueryResult> submit(CorpusId corpus, u64 k,
                                   data::Criterion criterion =
                                       data::Criterion::kLargest,
-                                  bool selection_only = false);
+                                  bool selection_only = false,
+                                  core::FidelityPolicy fidelity = {});
 
   /// Blocks until every submitted query (both routes) has completed, then
   /// cross-publishes calibrated plans between shards (share_plans).

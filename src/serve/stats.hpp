@@ -62,6 +62,13 @@ struct ServerStats {
   u64 relax_guard_trips = 0;  ///< relaxation-guard re-thresholds (tie-heavy
                               ///< distributions forcing the exact-kappa
                               ///< recompute; see core/concat_fused.hpp)
+  u64 relax_guard_skips = 0;  ///< guard trips the fidelity policy waved off
+                              ///< (recall-target queries never re-threshold)
+  u64 approx_queries = 0;     ///< queries executed under a recall target
+                              ///< (FidelityPolicy not exact)
+  u64 recall_samples = 0;     ///< oracle-measured recall samples recorded
+  double recall_mean = 0.0;   ///< mean measured recall over those samples
+                              ///< (1.0 when no sample was recorded)
 
   double total_sim_ms = 0.0;     ///< summed per-query simulated latency
   double calibration_sim_ms = 0.0;  ///< plan-cache probe work (cold starts)
@@ -136,7 +143,16 @@ class StatsCollector {
             "Kernel launches attributed to stage 3 (classify + concat)")),
         m_guard_trips_(reg.counter(
             "serve_relax_guard_trips",
-            "Relaxation-guard re-thresholds (per segment)")) {}
+            "Relaxation-guard re-thresholds (per segment)")),
+        m_guard_skips_(reg.counter(
+            "serve_relax_guard_skips",
+            "Guard trips waved off by a recall-target fidelity policy")),
+        m_approx_(reg.counter(
+            "serve_approx_queries",
+            "Queries executed under a recall-target fidelity policy")),
+        recall_bp_(reg.histogram(
+            "serve_recall_measured_bp",
+            "Oracle-measured recall per sampled query (basis points)")) {}
 
   /// Reservoir bound for the exact-percentiles debug path: a long-running
   /// server must not grow memory per query. Up to kLatencyReservoir samples
@@ -152,6 +168,7 @@ class StatsCollector {
     if (stages.concat_stats.kernels_launched)
       m_concat_launches_.add(stages.concat_stats.kernels_launched);
     if (stages.guard_trips) m_guard_trips_.add(stages.guard_trips);
+    if (stages.guard_skips) m_guard_skips_.add(stages.guard_skips);
     std::lock_guard lk(mu_);
     ++completed_;
     if (exact_percentiles_) {
@@ -179,6 +196,7 @@ class StatsCollector {
     if (setup_stages.concat_stats.kernels_launched)
       m_concat_launches_.add(setup_stages.concat_stats.kernels_launched);
     if (setup_stages.guard_trips) m_guard_trips_.add(setup_stages.guard_trips);
+    if (setup_stages.guard_skips) m_guard_skips_.add(setup_stages.guard_skips);
     std::lock_guard lk(mu_);
     ++groups_;
     stages_ += setup_stages;
@@ -226,6 +244,27 @@ class StatsCollector {
     if (early) ++window_early_flushes_;
   }
 
+  /// One query executed under a recall-target fidelity policy (counted at
+  /// execution, so dedup subscribers and deferred items are each counted
+  /// exactly once).
+  void record_approx() {
+    m_approx_.add();
+    std::lock_guard lk(mu_);
+    ++approx_queries_;
+  }
+
+  /// One oracle-measured recall sample in [0, 1] (the oracle — an exact
+  /// reference top-k — lives with the caller: benches and tests compute it
+  /// and feed the measurement back). Exported as basis points so the
+  /// histogram's integer buckets stay meaningful.
+  void record_recall(double recall) {
+    const double r = std::clamp(recall, 0.0, 1.0);
+    recall_bp_.observe(static_cast<u64>(r * 10000.0 + 0.5));
+    std::lock_guard lk(mu_);
+    recall_sum_ += r;
+    ++recall_samples_;
+  }
+
   /// One-time plan-calibration probe work (not part of any query's
   /// latency, but part of some executor's makespan).
   void record_calibration(double sim_ms) {
@@ -271,6 +310,12 @@ class StatsCollector {
       // via record_group, per-query pairs via record_query).
       s.concat_launches = stages_.concat_stats.kernels_launched;
       s.relax_guard_trips = stages_.guard_trips;
+      s.relax_guard_skips = stages_.guard_skips;
+      s.approx_queries = approx_queries_;
+      s.recall_samples = recall_samples_;
+      s.recall_mean = recall_samples_
+                          ? recall_sum_ / static_cast<double>(recall_samples_)
+                          : 1.0;
       for (double w : per_executor_)
         s.makespan_sim_ms = std::max(s.makespan_sim_ms, w);
       if (exact_percentiles_) sorted = latencies_;
@@ -316,6 +361,9 @@ class StatsCollector {
   u64 window_flushes_ = 0;
   u64 window_merged_groups_ = 0;
   u64 window_early_flushes_ = 0;
+  u64 approx_queries_ = 0;
+  u64 recall_samples_ = 0;
+  double recall_sum_ = 0.0;
 
   bool exact_percentiles_;
   obs::Histogram& latency_us_;
@@ -333,6 +381,9 @@ class StatsCollector {
   obs::Counter& m_early_flushes_;
   obs::Counter& m_concat_launches_;
   obs::Counter& m_guard_trips_;
+  obs::Counter& m_guard_skips_;
+  obs::Counter& m_approx_;
+  obs::Histogram& recall_bp_;
 };
 
 }  // namespace drtopk::serve
