@@ -1,0 +1,185 @@
+// Deadline/SLO-aware admission for the network front door.
+//
+// Every request is answered in bounded time, one way or another — the
+// queue is never the pressure-relief valve. The ladder, in order:
+//
+//   1. rate     — per-client token bucket empty        -> kShedRate
+//   2. quota    — per-client in-flight cap reached     -> kShedQuota
+//   3. overload — server-wide in-flight bound reached  -> kShedOverload
+//   4. deadline — predicted latency vs the budget:
+//        estimate(fidelity) = service_ewma(PlanKey) * safety + queue_p90
+//        (the PlanCache's measured service EWMA for the query's shape,
+//        inflated by a safety factor, plus the live serve_queue_wait_us
+//        p90 — both observed quantities, not model guesses);
+//        exact fits the budget                         -> admit kOk
+//        exact misses, client has a recall floor, the
+//        *degraded* estimate fits                      -> admit kDegraded
+//        even the floor's estimate misses              -> kShedDeadline
+//
+// Cold start is optimistic: an unknown service estimate (no sample yet for
+// the shape) admits rather than sheds — the first few queries of a shape
+// are the only way to learn its cost, and a wrong optimistic admit costs
+// one missed deadline while a wrong pessimistic shed never learns.
+// Degradation happens at ADMISSION, not mid-flight: the fidelity the query
+// is admitted at is the fidelity it runs and reports (honest fidelity_bp).
+//
+// The controller is pure decision logic over injected estimator callables
+// — tests pin the whole matrix with fixed estimates, no sockets, no
+// backend (tests/test_admission.cpp).
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "core/fidelity.hpp"
+#include "net/protocol.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace drtopk::net {
+
+/// Per-client request-rate limiter (standard token bucket, microsecond
+/// clock, caller-provided timestamps so tests are deterministic).
+/// rate_qps == 0 disables the bucket (always allows).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_qps = 0.0, double burst = 16.0)
+      : rate_(rate_qps), burst_(burst < 1.0 ? 1.0 : burst), tokens_(burst_) {}
+
+  bool try_take(u64 now_us) {
+    if (rate_ <= 0.0) return true;
+    if (last_us_ != 0 && now_us > last_us_) {
+      tokens_ += static_cast<double>(now_us - last_us_) * rate_ / 1e6;
+      if (tokens_ > burst_) tokens_ = burst_;
+    }
+    last_us_ = now_us;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  u64 last_us_ = 0;
+};
+
+/// What the controller decided for one request.
+struct AdmissionVerdict {
+  /// kOk / kDegraded mean "admitted" (run at `fidelity`); any kShed* means
+  /// "answer the typed rejection now, run nothing".
+  Status status = Status::kOk;
+  core::FidelityPolicy fidelity;  ///< policy the query runs at, if admitted
+  u32 fidelity_bp = kExactBp;     ///< quantized form, echoed in the response
+  u64 estimate_us = 0;            ///< predicted latency backing the decision
+  bool admitted() const {
+    return status == Status::kOk || status == Status::kDegraded;
+  }
+};
+
+/// The deadline-aware admission controller (see the file comment). Owns
+/// only decision logic and config; live inputs — service estimator, queue
+/// predictor, in-flight counts, token buckets — are injected per call or
+/// at construction, so the same code path is exercised end-to-end by the
+/// server and in isolation by the unit tests.
+class AdmissionController {
+ public:
+  struct Config {
+    /// Server-wide admitted-but-unanswered bound. Keep at or below the
+    /// backend's max_in_flight so the event loop's submit() never blocks —
+    /// backpressure becomes a typed kShedOverload instead of a stalled
+    /// accept loop.
+    u64 max_in_flight = 64;
+    /// Multiplier on the service EWMA: absorbs estimator lag and
+    /// scheduling jitter. >1 sheds earlier (conservative), 1 trusts the
+    /// EWMA exactly.
+    double safety = 1.5;
+    /// Quantile of the live queue-wait histogram added to every estimate.
+    double queue_quantile = 0.9;
+  };
+
+  /// `service_estimate_us`: measured service-time EWMA for a shape
+  /// (PlanCache::service_estimate_us; 0 = unknown). `queue_wait_us`:
+  /// predicted time-in-queue (live histogram quantile; 0 = no data).
+  AdmissionController(Config cfg,
+                      std::function<u64(const serve::PlanKey&)>
+                          service_estimate_us,
+                      std::function<u64()> queue_wait_us)
+      : cfg_(cfg),
+        service_(std::move(service_estimate_us)),
+        queue_(std::move(queue_wait_us)) {}
+
+  const Config& config() const { return cfg_; }
+
+  /// Predicted end-to-end latency of a query of shape `key`; 0 = unknown
+  /// service time (cold shape) — the caller treats it as "admit".
+  u64 estimate_us(const serve::PlanKey& key) const {
+    const u64 svc = service_(key);
+    if (svc == 0) return 0;
+    return static_cast<u64>(static_cast<double>(svc) * cfg_.safety) + queue_();
+  }
+
+  /// The whole ladder for one request. `exact_key`/`floor_key` are the
+  /// request's PlanCache shape keys at exact fidelity and at the client's
+  /// floor (ignored unless recall_floor_bp < kExactBp); `rate_ok`/
+  /// `quota_ok` are the per-client gate results (evaluated by the caller,
+  /// who owns the per-connection state); `in_flight` is the server-wide
+  /// admitted count.
+  AdmissionVerdict decide(const serve::PlanKey& exact_key,
+                          const serve::PlanKey& floor_key, u64 deadline_us,
+                          u32 recall_floor_bp, bool rate_ok, bool quota_ok,
+                          u64 in_flight) const {
+    AdmissionVerdict v;
+    if (!rate_ok) {
+      v.status = Status::kShedRate;
+      return v;
+    }
+    if (!quota_ok) {
+      v.status = Status::kShedQuota;
+      return v;
+    }
+    if (in_flight >= cfg_.max_in_flight) {
+      v.status = Status::kShedOverload;
+      return v;
+    }
+    // No budget: run exact, nothing to trade away.
+    if (deadline_us == 0) return v;
+
+    const u64 exact_est = estimate_us(exact_key);
+    v.estimate_us = exact_est;
+    if (exact_est <= deadline_us) return v;  // fits (or unknown: optimistic)
+
+    if (recall_floor_bp < kExactBp) {
+      // Degrade to the client's floor — the cheapest fidelity it accepts,
+      // hence the best shot at the deadline. (Intermediate rungs would
+      // fragment admission groups and plan-cache shapes for little gain.)
+      const u64 floor_est = estimate_us(floor_key);
+      v.estimate_us = floor_est;
+      if (floor_est <= deadline_us) {  // fits (or unknown: optimistic)
+        v.status = Status::kDegraded;
+        v.fidelity = core::FidelityPolicy::approx(
+            static_cast<double>(recall_floor_bp) / 10000.0);
+        v.fidelity_bp = v.fidelity.quantized_bp();
+        return v;
+      }
+    }
+    v.status = Status::kShedDeadline;
+    return v;
+  }
+
+ private:
+  Config cfg_;
+  std::function<u64(const serve::PlanKey&)> service_;
+  std::function<u64()> queue_;
+};
+
+/// Monotonic microsecond clock shared by the net layer (token buckets,
+/// request timing).
+inline u64 mono_us() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace drtopk::net

@@ -1,0 +1,151 @@
+// Minimal blocking client for the drtopk wire protocol — the test and
+// bench harness's counterpart to NetServer (production clients would speak
+// the protocol from their own stacks; this one optimizes for determinism
+// and fault injection, not throughput).
+//
+// Two usage shapes:
+//   * call()/metrics(): strict request/response lockstep — send one frame,
+//     block for one frame. What the conformance tests use.
+//   * send()/recv_response(): decoupled halves for pipelined traffic (the
+//     open-loop bench sends on Poisson ticks from one thread and matches
+//     request_ids on a reader thread — responses legitimately arrive out
+//     of order: sheds return immediately, admitted work later).
+//
+// Fault injection: fd() exposes the raw socket so tests can shutdown() or
+// close() mid-frame; send_raw() writes arbitrary bytes (the fuzzer's door
+// for malformed traffic).
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include "net/protocol.hpp"
+
+namespace drtopk::net {
+
+/// Blocking loopback client: framed sends, incremental frame reassembly on
+/// reads, raw-byte and raw-fd escape hatches for fuzzing/fault injection.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+  /// Connects to 127.0.0.1:port. False on failure.
+  bool connect(u16 port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      close();
+      return false;
+    }
+    return true;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  /// Raw socket for fault injection (shutdown mid-stream, etc.).
+  int fd() const { return fd_; }
+
+  /// Writes arbitrary bytes (not necessarily a whole — or valid — frame).
+  /// MSG_NOSIGNAL: a server-dropped connection surfaces as `false`, never
+  /// as SIGPIPE (fuzz clients hit this constantly).
+  bool send_raw(std::span<const u8> bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t w =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool send(const TopkRequest& req) {
+    const auto f = encode(req);
+    return send_raw(f);
+  }
+
+  /// Blocks for the next complete frame payload; nullopt on EOF/error or
+  /// when the stream turns out to be unframable garbage (server bug).
+  std::optional<std::vector<u8>> recv_frame() {
+    u8 buf[64 * 1024];
+    for (;;) {
+      if (auto f = dec_.next()) return f;
+      if (dec_.error()) return std::nullopt;
+      const ssize_t r = ::read(fd_, buf, sizeof(buf));
+      if (r == 0) return std::nullopt;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      dec_.feed({buf, static_cast<size_t>(r)});
+    }
+  }
+
+  /// Blocks for the next TopkResponse (skipping non-response frames).
+  std::optional<TopkResponse> recv_response() {
+    for (;;) {
+      auto f = recv_frame();
+      if (!f) return std::nullopt;
+      TopkResponse resp;
+      if (decode(*f, resp)) return resp;
+    }
+  }
+
+  /// Lockstep request/response.
+  std::optional<TopkResponse> call(const TopkRequest& req) {
+    if (!send(req)) return std::nullopt;
+    return recv_response();
+  }
+
+  /// Fetches a Prometheus-text metrics snapshot over the socket.
+  std::optional<std::string> metrics() {
+    const auto f = encode_metrics_request();
+    if (!send_raw(f)) return std::nullopt;
+    for (;;) {
+      auto frame = recv_frame();
+      if (!frame) return std::nullopt;
+      std::string text;
+      if (decode_metrics_response(*frame, text)) return text;
+    }
+  }
+
+  /// Liveness probe: ping, wait for pong.
+  bool ping() {
+    const auto f = encode_ping();
+    if (!send_raw(f)) return false;
+    auto frame = recv_frame();
+    return frame && peek_type(*frame) == MsgType::kPong;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder dec_;
+};
+
+}  // namespace drtopk::net

@@ -1,0 +1,158 @@
+// Length-prefixed framing for the network front door.
+//
+// Wire format (little-endian throughout):
+//
+//   [u32 magic = 'DTK1' (0x314B5444)] [u32 payload_len] [payload bytes]
+//
+// The magic guards against port scanners and desynchronized peers: a frame
+// whose first four bytes are wrong is not a protocol error to recover from
+// — the stream position is unknown — so the decoder enters a terminal
+// error state and the server drops the connection. The same applies to a
+// declared payload length above kMaxFrame (a 1 MiB frame is already ~100x
+// the largest legitimate top-k response; anything bigger is garbage or an
+// attack, and pre-allocating for it would let a client DoS the server with
+// eight bytes). A *well-framed* payload that fails protocol decoding is a
+// different, recoverable story — src/net/protocol.hpp answers it with a
+// typed kBadRequest and the connection lives on.
+//
+// FrameDecoder is incremental: feed() whatever the socket produced,
+// next() yields complete payloads. Reader/Writer are the bounds-checked
+// little-endian primitives the protocol layer composes messages from.
+// Everything here is pure in-memory byte manipulation — deterministic and
+// fuzzable without a socket (tests/test_net.cpp drives both levels).
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "vgpu/types.hpp"
+
+namespace drtopk::net {
+
+/// Frame magic: ASCII "DTK1" read as a little-endian u32.
+inline constexpr u32 kFrameMagic = 0x314B5444u;  // 'D' 'T' 'K' '1'
+/// Hard payload-size ceiling; a declared length above this is a framing
+/// error (connection dropped), never an allocation.
+inline constexpr u32 kMaxFrame = u32{1} << 20;
+/// Bytes of header preceding every payload (magic + length).
+inline constexpr u32 kFrameHeader = 8;
+
+/// Serializes `payload` as one wire frame (header + copy of the bytes).
+inline std::vector<u8> encode_frame(std::span<const u8> payload) {
+  std::vector<u8> out(kFrameHeader + payload.size());
+  const u32 magic = kFrameMagic;
+  const u32 len = static_cast<u32>(payload.size());
+  std::memcpy(out.data(), &magic, 4);
+  std::memcpy(out.data() + 4, &len, 4);
+  if (!payload.empty())
+    std::memcpy(out.data() + kFrameHeader, payload.data(), payload.size());
+  return out;
+}
+
+/// Incremental frame reassembly over an arbitrary byte stream. feed()
+/// accepts whatever arrived; next() pops complete payloads in order. A
+/// framing violation (bad magic or oversized declared length) is terminal:
+/// error() stays true, feed() becomes a no-op and next() yields nothing —
+/// the owner must drop the connection (the stream position is unknowable).
+class FrameDecoder {
+ public:
+  void feed(std::span<const u8> bytes) {
+    if (error_) return;
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    parse();
+  }
+
+  /// Next complete payload, if any.
+  std::optional<std::vector<u8>> next() {
+    if (frames_.empty()) return std::nullopt;
+    std::vector<u8> f = std::move(frames_.front());
+    frames_.pop_front();
+    return f;
+  }
+
+  bool error() const { return error_; }
+  /// Bytes buffered awaiting a complete frame (diagnostics/tests).
+  size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  void parse() {
+    size_t pos = 0;
+    while (buf_.size() - pos >= kFrameHeader) {
+      u32 magic = 0, len = 0;
+      std::memcpy(&magic, buf_.data() + pos, 4);
+      std::memcpy(&len, buf_.data() + pos + 4, 4);
+      if (magic != kFrameMagic || len > kMaxFrame) {
+        error_ = true;
+        buf_.clear();
+        return;
+      }
+      if (buf_.size() - pos - kFrameHeader < len) break;  // partial payload
+      frames_.emplace_back(buf_.begin() + pos + kFrameHeader,
+                           buf_.begin() + pos + kFrameHeader + len);
+      pos += kFrameHeader + len;
+    }
+    if (pos) buf_.erase(buf_.begin(), buf_.begin() + pos);
+  }
+
+  std::vector<u8> buf_;
+  std::deque<std::vector<u8>> frames_;
+  bool error_ = false;
+};
+
+/// Bounds-checked little-endian reader over one payload. Every get_*
+/// returns false (and poisons the reader) on underrun, so a decoder is a
+/// straight-line sequence of reads with one failure check — malformed
+/// payloads can truncate anywhere without UB.
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  bool u8_(u8& out) { return get(&out, 1); }
+  bool u32_(u32& out) { return get(&out, 4); }
+  bool u64_(u64& out) { return get(&out, 8); }
+  bool bytes(std::span<u8> out) { return get(out.data(), out.size()); }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool get(void* out, size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const u8> bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Little-endian payload builder (the Reader's mirror image).
+class Writer {
+ public:
+  void u8_(u8 v) { put(&v, 1); }
+  void u32_(u32 v) { put(&v, 4); }
+  void u64_(u64 v) { put(&v, 8); }
+  void bytes(std::span<const u8> v) { put(v.data(), v.size()); }
+
+  std::vector<u8>& payload() { return buf_; }
+  /// The finished payload wrapped in a wire frame.
+  std::vector<u8> frame() const { return encode_frame(buf_); }
+
+ private:
+  void put(const void* v, size_t n) {
+    const u8* p = static_cast<const u8*>(v);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<u8> buf_;
+};
+
+}  // namespace drtopk::net

@@ -144,6 +144,30 @@ class PlanCache {
     it->second.exec_ws_bytes = std::max(it->second.exec_ws_bytes, exec_bytes);
   }
 
+  /// Records one measured wall-clock *service* time (queue wait excluded)
+  /// for `key`, folded into a per-shape EWMA. Unlike note_workspace this
+  /// does not require a cached plan: the map is separate, so shapes that
+  /// never calibrate locally (e.g. the sharded server's full-span keys)
+  /// still build an estimate. The EWMA (alpha = 1/4) tracks load shifts
+  /// within a few samples while smoothing scheduling noise — it is the
+  /// deadline-admission service predictor (src/net/admission.hpp).
+  void note_service_time(const PlanKey& key, u64 wall_us) {
+    std::lock_guard lk(mu_);
+    auto [it, inserted] = service_us_.emplace(key, 0.0);
+    it->second = inserted ? static_cast<double>(wall_us)
+                          : it->second * 0.75 +
+                                static_cast<double>(wall_us) * 0.25;
+  }
+
+  /// Current service-time estimate for `key` in microseconds; 0 = no
+  /// sample yet (the admission controller treats that as "unknown" and
+  /// admits optimistically).
+  u64 service_estimate_us(const PlanKey& key) const {
+    std::lock_guard lk(mu_);
+    auto it = service_us_.find(key);
+    return it == service_us_.end() ? 0 : static_cast<u64>(it->second + 0.5);
+  }
+
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Calibration probe sets this cache never ran because a sibling's
@@ -204,6 +228,9 @@ class PlanCache {
   Options opts_;
   mutable std::mutex mu_;
   std::unordered_map<PlanKey, CachedPlan, PlanKeyHash> map_;
+  /// Measured service-time EWMAs, keyed like plans but stored apart so an
+  /// estimate can exist for shapes with no locally calibrated plan.
+  std::unordered_map<PlanKey, double, PlanKeyHash> service_us_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> probes_skipped_{0};

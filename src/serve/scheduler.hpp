@@ -46,6 +46,9 @@ struct Pending {
   topk::WallTimer admitted;  ///< wall-clock from admission to completion
   u64 enqueue_ts_us = 0;     ///< tracer timestamp at admission — queue-wait
                              ///< span start and histogram sample
+  u64 queue_wait_us = 0;     ///< measured admission-to-claim wait, stamped
+                             ///< by the claiming executor and surfaced as
+                             ///< QueryResult::queue_us
 };
 
 /// Sentinel class id: this deferred item shares its span with nobody
@@ -121,6 +124,16 @@ struct Group {
   /// group — they need different delegate vectors (beta/alpha differ) and
   /// different stage-3 treatment, and the shared setup is fidelity-wide.
   core::FidelityPolicy fidelity;
+  /// Part of the signature: Query::deadline_class() — a tight-deadline
+  /// query must never share a group with deadline-free (or much looser)
+  /// peers, or group-granular scheduling decisions made for the majority
+  /// (most importantly parking in a cross-group finalization window) would
+  /// stall the tight member past its budget.
+  u32 deadline_class = 0;
+  /// Tightest member deadline in microseconds (0 = none). Same-class
+  /// deadlines differ by at most 2x, so this is representative for the
+  /// whole group; maybe_finalize_group compares it against the window.
+  u64 deadline_min_us = 0;
 
   u64 seq = 0;          ///< admission order (1-based); trace span grouping
   u64 park_ts_us = 0;   ///< tracer timestamp when the group parked in the
@@ -202,7 +215,8 @@ struct Group {
 
   bool compatible(const Query& q) const {
     return q.data_id() == data_id && q.n() == n && q.width() == width &&
-           q.criterion == criterion && q.fidelity == fidelity;
+           q.criterion == criterion && q.fidelity == fidelity &&
+           q.deadline_class() == deadline_class;
   }
 };
 
@@ -417,9 +431,13 @@ class AdmissionQueue {
       }
     }
     const u64 qid = p.id;
+    const u64 ddl = p.query.deadline_us;
     u64 gseq = 0;
     if (host) {
       gseq = host->seq;
+      if (ddl != 0 &&
+          (host->deadline_min_us == 0 || ddl < host->deadline_min_us))
+        host->deadline_min_us = ddl;
       host->items.push_back(std::move(p));
     } else {
       auto g = std::make_shared<Group>();
@@ -430,6 +448,8 @@ class AdmissionQueue {
       g->width = p.query.width();
       g->criterion = p.query.criterion;
       g->fidelity = p.query.fidelity;
+      g->deadline_class = p.query.deadline_class();
+      g->deadline_min_us = ddl;
       g->items.push_back(std::move(p));
       queue_.push_back(std::move(g));
       if (tracer_) tracer_->instant(0, "group-open", qid, gseq);

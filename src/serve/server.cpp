@@ -194,6 +194,7 @@ void TopkServer::process_claim(AdmissionQueue::Claim& c, u32 executor_id) {
     if (c.item->enqueue_ts_us != 0) {
       const u64 now = tracer_.now_us();
       const u64 waited = now - c.item->enqueue_ts_us;
+      c.item->queue_wait_us = waited;
       if (queue_wait_us_) queue_wait_us_->observe(waited);
       if (tracing)
         tracer_.complete(lane(executor_id), "queue-wait", c.item->id,
@@ -542,6 +543,20 @@ bool TopkServer::maybe_finalize_group(const std::shared_ptr<Group>& gp,
     return false;
   }
 
+  // Deadline bypass: a group whose tightest member deadline is within an
+  // order of magnitude of the window length cannot afford to park — the
+  // window would eat the whole budget. Finalize immediately, exactly like
+  // the window-off path. deadline_min_us is representative for every
+  // member because the deadline class (log2 bucket) is part of the
+  // admission signature: no deadline-free or much-looser query shares the
+  // group, so this decision is never made for a mixed population.
+  if (g.deadline_min_us != 0 &&
+      g.deadline_min_us <= static_cast<u64>(cfg_.finalize_window_us) * 8) {
+    collector_.record_window_deadline_bypass();
+    finalize_groups({&gp, 1}, executor_id);
+    return false;
+  }
+
   // Cross-group finalization window: park the group in the staging area.
   // The first parker becomes the window owner — it blocks here (at most
   // finalize_window_us, woken early once the parked segments reach the
@@ -778,6 +793,7 @@ QueryResult TopkServer::run_item_typed(Group& g, Pending& p, u64 amortize_over,
   const Query& q = p.query;
   QueryResult out;
   out.id = p.id;
+  out.queue_us = p.queue_wait_us;
   out.plan_cache_hit = g.plan_resolved && g.plan_hit;
   *deferred = false;
 

@@ -91,7 +91,8 @@ std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
                                                    data::Criterion criterion,
                                                    bool selection_only,
                                                    core::FidelityPolicy
-                                                       fidelity) {
+                                                       fidelity,
+                                                   u64 deadline_us) {
   Corpus c;
   {
     std::lock_guard lk(corpora_mu_);
@@ -112,9 +113,11 @@ std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
     TopkServer& srv = *shards_[c.first_shard].server;
     return c.width == KeyWidth::k64
                ? srv.submit(Query::view(c.v64, k, criterion, selection_only,
-                                        fidelity))
+                                        fidelity)
+                                .with_deadline(deadline_us))
                : srv.submit(Query::view(c.v32, k, criterion, selection_only,
-                                        fidelity));
+                                        fidelity)
+                                .with_deadline(deadline_us));
   }
 
   // ---- Scatter: one clamped full-top-k sub-query per shard. The local
@@ -156,9 +159,11 @@ std::future<QueryResult> ShardedTopkServer::submit(CorpusId id, u64 k,
     job.parts.push_back(
         c.width == KeyWidth::k64
             ? srv.submit(Query::view(c.v64.subspan(lo, len), kk, criterion,
-                                     /*selection_only=*/false, local))
+                                     /*selection_only=*/false, local)
+                             .with_deadline(deadline_us))
             : srv.submit(Query::view(c.v32.subspan(lo, len), kk, criterion,
-                                     /*selection_only=*/false, local)));
+                                     /*selection_only=*/false, local)
+                             .with_deadline(deadline_us)));
   }
   auto fut = job.promise.get_future();
   {
@@ -215,6 +220,7 @@ void ShardedTopkServer::merge_batch_typed(std::vector<MergeJob>& jobs) {
   struct Gathered {
     std::vector<std::vector<Key>> runs;
     double latency_ms = 0.0;  ///< max over shards: they run concurrently
+    u64 queue_us = 0;         ///< max over shards, same concurrency argument
     core::StageBreakdown breakdown;
     bool plan_hit = true;
     bool fused = false;
@@ -232,6 +238,7 @@ void ShardedTopkServer::merge_batch_typed(std::vector<MergeJob>& jobs) {
                                        j.criterion);
       g.runs.push_back(std::move(run));
       g.latency_ms = std::max(g.latency_ms, pr.latency_sim_ms);
+      g.queue_us = std::max(g.queue_us, pr.queue_us);
       g.breakdown += pr.breakdown;
       g.plan_hit = g.plan_hit && pr.plan_cache_hit;
       g.fused = g.fused || pr.fused;
@@ -307,6 +314,7 @@ void ShardedTopkServer::merge_batch_typed(std::vector<MergeJob>& jobs) {
       out.kth = out.values.back();
     }
     out.latency_sim_ms = in[ji].latency_ms + share;
+    out.queue_us = in[ji].queue_us;
     out.breakdown = in[ji].breakdown;
     out.breakdown.second_ms += share;
     out.plan_cache_hit = in[ji].plan_hit;

@@ -120,11 +120,16 @@ class ShardedTopkServer {
   /// cross-shard merge; a recall target scatters *reduced* shard-local
   /// sub-queries (smaller local k, tightened local target — see submit's
   /// implementation for the budget split) and merges those exactly.
+  /// `deadline_us` (0 = none) is stamped on every scattered sub-query, so
+  /// shard-local scheduling (deadline-class grouping, finalize-window
+  /// bypass — see Query::deadline_us) honors the caller's budget on each
+  /// shard independently.
   std::future<QueryResult> submit(CorpusId corpus, u64 k,
                                   data::Criterion criterion =
                                       data::Criterion::kLargest,
                                   bool selection_only = false,
-                                  core::FidelityPolicy fidelity = {});
+                                  core::FidelityPolicy fidelity = {},
+                                  u64 deadline_us = 0);
 
   /// Blocks until every submitted query (both routes) has completed, then
   /// cross-publishes calibrated plans between shards (share_plans).

@@ -54,6 +54,10 @@ struct ServerStats {
   u64 window_early_flushes = 0;  ///< window flushes triggered by the
                                  ///< queue-empty early-flush path rather
                                  ///< than the timer or the segment cap
+  u64 window_deadline_bypasses = 0;  ///< groups finalized immediately —
+                                     ///< never parked — because their
+                                     ///< member deadline was too tight for
+                                     ///< the cross-group window to be safe
   u64 concat_launches = 0;  ///< kernel launches attributed to stage 3
                             ///< (classify + concat): per-query pairs on the
                             ///< baseline path, ONE pair per group with
@@ -138,6 +142,9 @@ class StatsCollector {
         m_early_flushes_(reg.counter(
             "serve_window_early_flushes",
             "Window flushes triggered by queue-empty early flush")),
+        m_deadline_bypasses_(reg.counter(
+            "serve_window_deadline_bypass",
+            "Groups finalized immediately: deadline too tight to park")),
         m_concat_launches_(reg.counter(
             "serve_concat_launches",
             "Kernel launches attributed to stage 3 (classify + concat)")),
@@ -244,6 +251,14 @@ class StatsCollector {
     if (early) ++window_early_flushes_;
   }
 
+  /// One group finalized immediately because its tightest member deadline
+  /// could not afford the cross-group finalization window.
+  void record_window_deadline_bypass() {
+    m_deadline_bypasses_.add();
+    std::lock_guard lk(mu_);
+    ++window_deadline_bypasses_;
+  }
+
   /// One query executed under a recall-target fidelity policy (counted at
   /// execution, so dedup subscribers and deferred items are each counted
   /// exactly once).
@@ -302,6 +317,7 @@ class StatsCollector {
       s.window_flushes = window_flushes_;
       s.window_merged_groups = window_merged_groups_;
       s.window_early_flushes = window_early_flushes_;
+      s.window_deadline_bypasses = window_deadline_bypasses_;
       s.total_sim_ms = total_sim_ms_;
       s.calibration_sim_ms = calibration_sim_ms_;
       s.stages = stages_;
@@ -361,6 +377,7 @@ class StatsCollector {
   u64 window_flushes_ = 0;
   u64 window_merged_groups_ = 0;
   u64 window_early_flushes_ = 0;
+  u64 window_deadline_bypasses_ = 0;
   u64 approx_queries_ = 0;
   u64 recall_samples_ = 0;
   double recall_sum_ = 0.0;
@@ -379,6 +396,7 @@ class StatsCollector {
   obs::Counter& m_window_flushes_;
   obs::Counter& m_window_merged_;
   obs::Counter& m_early_flushes_;
+  obs::Counter& m_deadline_bypasses_;
   obs::Counter& m_concat_launches_;
   obs::Counter& m_guard_trips_;
   obs::Counter& m_guard_skips_;

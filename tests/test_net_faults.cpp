@@ -1,0 +1,224 @@
+// Fault injection for the network front door: clients that die or stall
+// mid-stream, connections dropped while their queries are parked in a
+// batched finalize window. The invariants under attack: the serving layer
+// always drains (no orphaned group state), every kernel launch stays
+// stage-attributed, orphaned responses are dropped-and-counted rather than
+// misdelivered, and the server keeps answering the well-behaved.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <thread>
+
+#include "data/distributions.hpp"
+#include "net/client.hpp"
+#include "net/net_server.hpp"
+
+namespace drtopk::net {
+namespace {
+
+using data::Criterion;
+using data::Distribution;
+
+struct Fixture {
+  vgpu::Device dev;  // private device: unattributed_launches isolated
+  vgpu::device_vector<u32> corpus;
+  serve::TopkServer srv;
+  SingleBackend backend;
+  NetServer net;
+
+  explicit Fixture(serve::ServerConfig scfg = {}, NetServerConfig ncfg = {})
+      : corpus(data::generate(1 << 15, Distribution::kUniform, 71)),
+        srv(dev, scfg),
+        backend(srv),
+        net(backend, ncfg) {
+    backend.add_corpus(std::span<const u32>(corpus.data(), corpus.size()));
+  }
+
+  u64 counter(const char* name) const {
+    const obs::Counter* c = net.metrics().find_counter(name);
+    return c ? c->value() : 0;
+  }
+
+  /// Waits until at least `opened` connections were ever accepted AND none
+  /// remain. "active == 0" alone is trivially true before the loop thread
+  /// even accepts — the opened floor is what makes this a real barrier
+  /// (and since EOF is processed after the frames buffered ahead of it, a
+  /// closed connection's requests are guaranteed admitted-or-shed).
+  void await_closed(u64 opened) {
+    for (int spin = 0; spin < 500; ++spin) {
+      if (counter("net_connections_opened") >= opened &&
+          net.active_connections() == 0)
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "connections stuck: opened="
+           << counter("net_connections_opened") << " active="
+           << net.active_connections();
+  }
+};
+
+TEST(NetFaults, ClientKilledMidFrame) {
+  Fixture fx;
+  BlockingClient cli;
+  ASSERT_TRUE(cli.connect(fx.net.port()));
+
+  // Half a valid frame (header promises 34 payload bytes, sends 4), then
+  // the client dies. The server must drop the buffered partial silently.
+  TopkRequest req;
+  req.k = 10;
+  const auto wire = encode(req);
+  ASSERT_TRUE(cli.send_raw({wire.data(), wire.size() / 2}));
+  cli.close();
+
+  fx.await_closed(1);
+  fx.net.drain();
+  fx.srv.drain();
+  EXPECT_EQ(fx.dev.unattributed_launches(), 0u);
+  EXPECT_EQ(fx.net.in_flight(), 0u);
+
+  // A new client on a (likely reused) fd gets clean answers.
+  BlockingClient next;
+  ASSERT_TRUE(next.connect(fx.net.port()));
+  auto resp = next.call(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, Status::kOk);
+}
+
+TEST(NetFaults, ClientKilledWithRequestsInFlightDropsResponsesCounted) {
+  Fixture fx;
+  BlockingClient cli;
+  ASSERT_TRUE(cli.connect(fx.net.port()));
+
+  // Pipeline a burst and vanish before any response lands. The admitted
+  // queries still execute; their responses must be dropped-and-counted,
+  // never misdelivered to whoever inherits the fd.
+  constexpr int kBurst = 6;
+  for (int i = 0; i < kBurst; ++i) {
+    TopkRequest req;
+    req.request_id = static_cast<u64>(i);
+    req.k = 256;
+    ASSERT_TRUE(cli.send(req));
+  }
+  cli.close();
+
+  // The loop thread handles every buffered frame BEFORE it can observe the
+  // EOF behind them, so "connection opened then gone" implies "burst
+  // admitted" — only then does drain() have anything to wait for.
+  fx.await_closed(1);
+  fx.net.drain();  // every admitted request answered (somewhere)
+  fx.srv.drain();
+  EXPECT_EQ(fx.dev.unattributed_launches(), 0u);
+  EXPECT_EQ(fx.net.in_flight(), 0u);
+  // At least one admitted response found its connection gone. (Some of the
+  // burst may have been answered before the close raced in; "all shed
+  // pre-admission" would mean admitted == 0, which the assert rules out.)
+  EXPECT_GE(fx.counter("net_admitted"), 1u);
+  EXPECT_GE(fx.counter("net_responses_dropped"), 1u);
+
+  // Immediately reconnect (likely reusing the fd): no stale response may
+  // arrive — the first frame this client sees is its own pong.
+  BlockingClient next;
+  ASSERT_TRUE(next.connect(fx.net.port()));
+  EXPECT_TRUE(next.ping());
+}
+
+TEST(NetFaults, ConnectionsDroppedDuringFinalizeWindow) {
+  // A patient finalize window parks whole groups awaiting cross-group
+  // merges — precisely when a dying client leaves queries in the most
+  // shared state. Drops here must not wedge the window machinery.
+  serve::ServerConfig scfg;
+  scfg.executors = 2;
+  scfg.finalize_window_us = 50'000;
+  Fixture fx(scfg);
+
+  constexpr int kClients = 4;
+  BlockingClient clis[kClients];
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(clis[c].connect(fx.net.port()));
+    for (int i = 0; i < 3; ++i) {
+      TopkRequest req;
+      req.request_id = static_cast<u64>(c * 100 + i);
+      req.k = 64 + static_cast<u64>(c);  // distinct shapes: several groups
+      ASSERT_TRUE(clis[c].send(req));
+    }
+  }
+  // Give the requests time to admit and park in the window, then kill
+  // half the clients mid-window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  clis[0].close();
+  clis[2].close();
+
+  fx.net.drain();
+  fx.srv.drain();
+  EXPECT_EQ(fx.dev.unattributed_launches(), 0u);
+  EXPECT_EQ(fx.net.in_flight(), 0u);
+
+  // The surviving clients still get every answer.
+  for (int c : {1, 3}) {
+    for (int i = 0; i < 3; ++i) {
+      auto resp = clis[c].recv_response();
+      ASSERT_TRUE(resp.has_value()) << "client " << c << " response " << i;
+      EXPECT_EQ(resp->status, Status::kOk);
+    }
+  }
+}
+
+TEST(NetFaults, StalledClientDoesNotStallTheServer) {
+  // A client that writes but never reads. Its responses pile into the
+  // outbox (socket buffers full, EPOLLOUT never drains) — and a healthy
+  // client on the same server must remain completely unaffected.
+  Fixture fx;
+  BlockingClient stalled;
+  ASSERT_TRUE(stalled.connect(fx.net.port()));
+  for (int i = 0; i < 16; ++i) {
+    TopkRequest req;
+    req.request_id = static_cast<u64>(i);
+    req.k = 1024;  // chunky responses
+    ASSERT_TRUE(stalled.send(req));
+  }
+
+  BlockingClient healthy;
+  ASSERT_TRUE(healthy.connect(fx.net.port()));
+  for (int i = 0; i < 4; ++i) {
+    TopkRequest req;
+    req.request_id = 1000 + static_cast<u64>(i);
+    req.k = 32;
+    auto resp = healthy.call(req);
+    ASSERT_TRUE(resp.has_value()) << "healthy request " << i;
+    EXPECT_EQ(resp->status, Status::kOk);
+  }
+
+  // Half-close the stalled reader (RST on the server's next write), then
+  // confirm full teardown.
+  ::shutdown(stalled.fd(), SHUT_RDWR);
+  stalled.close();
+  fx.net.drain();
+  fx.srv.drain();
+  EXPECT_EQ(fx.dev.unattributed_launches(), 0u);
+  healthy.close();
+  fx.await_closed(2);
+}
+
+TEST(NetFaults, ServerStopWithLiveClientsIsClean) {
+  auto fx = std::make_unique<Fixture>();
+  const u16 port = fx->net.port();
+  BlockingClient cli;
+  ASSERT_TRUE(cli.connect(port));
+  TopkRequest req;
+  req.k = 8;
+  ASSERT_TRUE(cli.call(req).has_value());
+
+  // stop() with a connected client: joins all threads, closes all fds.
+  fx->net.stop();
+  EXPECT_EQ(fx->net.active_connections(), 0u);
+  EXPECT_EQ(fx->net.in_flight(), 0u);
+  // The client observes EOF, not a hang.
+  auto f = cli.recv_frame();
+  EXPECT_FALSE(f.has_value());
+  fx->srv.drain();
+  EXPECT_EQ(fx->dev.unattributed_launches(), 0u);
+}
+
+}  // namespace
+}  // namespace drtopk::net

@@ -1,0 +1,223 @@
+// drtopk_serverd — the network serving daemon.
+//
+// Binds the NetServer front door (src/net/) over a TopkServer (or, with
+// --shards N, a ShardedTopkServer), loads synthetic corpora at startup and
+// serves the docs/SERVING.md protocol until SIGINT/SIGTERM. Corpus ids are
+// the 0-based order of the --corpus list — registration is out of band by
+// design (the daemon owns the data plane; clients only reference ids).
+//
+//   $ drtopk_serverd --port 7411 --corpus 1048576,4194304 --shards 2 \
+//       --rate-qps 200 --max-in-flight 48
+//
+// Every knob maps 1:1 onto NetServerConfig / AdmissionController::Config /
+// ServerConfig; run with --help for the list.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/distributions.hpp"
+#include "net/net_server.hpp"
+
+using namespace drtopk;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  u16 port = 7411;
+  std::vector<u64> corpus_sizes = {u64{1} << 20};
+  u32 shards = 0;  // 0 = single TopkServer
+  u32 executors = 2;
+  u32 batch_max = 16;
+  u32 finishers = 2;
+  u32 max_connections = 256;
+  double rate_qps = 0.0;
+  double burst = 16.0;
+  u32 quota = 0;
+  u64 max_in_flight = 48;
+  double safety = 1.5;
+  u32 finalize_window_us = 0;
+  u64 seed = 7;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port P             TCP port on 127.0.0.1 (default 7411; 0 = "
+      "ephemeral)\n"
+      "  --corpus N[,N...]    corpus sizes to generate and register; the\n"
+      "                       list order defines wire corpus ids (default "
+      "1048576)\n"
+      "  --shards N           shard across N simulated devices (default 0 = "
+      "single)\n"
+      "  --executors N        executor threads per server (default 2)\n"
+      "  --batch-max N        max queries per admission group (default 16)\n"
+      "  --finishers N        response finisher threads (default 2)\n"
+      "  --max-connections N  concurrent client cap (default 256)\n"
+      "  --rate-qps R         per-client token-bucket rate, 0 = off\n"
+      "  --burst B            token-bucket burst (default 16)\n"
+      "  --quota N            per-client in-flight quota, 0 = off\n"
+      "  --max-in-flight N    server-wide admission bound (default 48)\n"
+      "  --safety F           admission estimate safety factor (default 1.5)\n"
+      "  --finalize-window-us U  serving-layer finalize window (default 0)\n"
+      "  --seed S             corpus generator seed (default 7)\n",
+      argv0);
+}
+
+std::vector<u64> parse_sizes(const char* s) {
+  std::vector<u64> out;
+  const char* p = s;
+  while (*p) {
+    char* end = nullptr;
+    const u64 v = std::strtoull(p, &end, 10);
+    if (end == p || v == 0) return {};
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != '\0' && *end != ',') return {};
+  }
+  return out;
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    // Both "--flag value" and "--flag=value" are accepted (the benches use
+    // the = form, so the examples in the docs do too).
+    std::string inline_v;
+    bool has_inline = false;
+    if (const auto eq = a.find('='); eq != std::string::npos && a.rfind("--", 0) == 0) {
+      inline_v = a.substr(eq + 1);
+      a.resize(eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_v.c_str();
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") return false;
+    else if (a == "--port" && (v = next())) o.port = static_cast<u16>(std::atoi(v));
+    else if (a == "--corpus" && (v = next())) {
+      o.corpus_sizes = parse_sizes(v);
+      if (o.corpus_sizes.empty()) return false;
+    }
+    else if (a == "--shards" && (v = next())) o.shards = std::atoi(v);
+    else if (a == "--executors" && (v = next())) o.executors = std::atoi(v);
+    else if (a == "--batch-max" && (v = next())) o.batch_max = std::atoi(v);
+    else if (a == "--finishers" && (v = next())) o.finishers = std::atoi(v);
+    else if (a == "--max-connections" && (v = next()))
+      o.max_connections = std::atoi(v);
+    else if (a == "--rate-qps" && (v = next())) o.rate_qps = std::atof(v);
+    else if (a == "--burst" && (v = next())) o.burst = std::atof(v);
+    else if (a == "--quota" && (v = next())) o.quota = std::atoi(v);
+    else if (a == "--max-in-flight" && (v = next()))
+      o.max_in_flight = std::strtoull(v, nullptr, 10);
+    else if (a == "--safety" && (v = next())) o.safety = std::atof(v);
+    else if (a == "--finalize-window-us" && (v = next()))
+      o.finalize_window_us = static_cast<u32>(std::atoll(v));
+    else if (a == "--seed" && (v = next())) o.seed = std::strtoull(v, nullptr, 10);
+    else return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // Corpora live for the process lifetime; backends hold views.
+  std::vector<vgpu::device_vector<u32>> corpora;
+  corpora.reserve(opt.corpus_sizes.size());
+  for (size_t i = 0; i < opt.corpus_sizes.size(); ++i)
+    corpora.push_back(data::generate(opt.corpus_sizes[i],
+                                     data::Distribution::kUniform,
+                                     opt.seed + i));
+
+  serve::ServerConfig scfg;
+  scfg.executors = opt.executors;
+  scfg.batch_max = opt.batch_max;
+  // The net layer sheds (typed) at its own bound; the serving layer's
+  // blocking bound sits above it so submit() never stalls the event loop.
+  scfg.max_in_flight = static_cast<u32>(opt.max_in_flight) + 8;
+  scfg.finalize_window_us = opt.finalize_window_us;
+
+  // The daemon owns whichever engine was asked for; `backend` is the
+  // NetServer-facing view of it.
+  std::unique_ptr<vgpu::Device> dev;
+  std::unique_ptr<serve::TopkServer> single;
+  std::unique_ptr<serve::ShardedTopkServer> sharded;
+  std::unique_ptr<net::Backend> backend;
+
+  if (opt.shards == 0) {
+    dev = std::make_unique<vgpu::Device>();
+    single = std::make_unique<serve::TopkServer>(*dev, scfg);
+    auto be = std::make_unique<net::SingleBackend>(*single);
+    for (const auto& c : corpora)
+      be->add_corpus(std::span<const u32>(c.data(), c.size()));
+    backend = std::move(be);
+  } else {
+    serve::ShardedConfig shcfg;
+    shcfg.num_shards = opt.shards;
+    shcfg.shard = scfg;
+    sharded = std::make_unique<serve::ShardedTopkServer>(shcfg);
+    auto be = std::make_unique<net::ShardedBackend>(*sharded);
+    for (const auto& c : corpora)
+      be->add_corpus(std::span<const u32>(c.data(), c.size()));
+    backend = std::move(be);
+  }
+
+  net::NetServerConfig ncfg;
+  ncfg.port = opt.port;
+  ncfg.finishers = opt.finishers;
+  ncfg.max_connections = opt.max_connections;
+  ncfg.client_rate_qps = opt.rate_qps;
+  ncfg.client_burst = opt.burst;
+  ncfg.client_quota = opt.quota;
+  ncfg.admission.max_in_flight = opt.max_in_flight;
+  ncfg.admission.safety = opt.safety;
+
+  std::unique_ptr<net::NetServer> fd;
+  try {
+    fd = std::make_unique<net::NetServer>(*backend, ncfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "drtopk_serverd: %s\n", e.what());
+    return 1;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("drtopk_serverd listening on 127.0.0.1:%u (%s", fd->port(),
+              opt.shards == 0 ? "single device"
+                              : "sharded");
+  if (opt.shards != 0) std::printf(" x%u", opt.shards);
+  std::printf(")\n");
+  for (size_t i = 0; i < corpora.size(); ++i)
+    std::printf("  corpus %zu: n=%zu u32 uniform (seed %llu)\n", i,
+                corpora[i].size(),
+                static_cast<unsigned long long>(opt.seed + i));
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("drtopk_serverd: draining...\n");
+  fd->drain();
+  fd->stop();
+  backend->drain();
+  std::printf("drtopk_serverd: bye\n");
+  return 0;
+}
